@@ -1,0 +1,184 @@
+//! The dense Pentagon domain packaged as an [`AliasAnalysis`] — **PT**
+//! in the comparison harness.
+//!
+//! The paper's Section 5 remarks that *"Pentagons, like the ABCD
+//! algorithm, could be used to disambiguate pointers like we do"*. This
+//! adapter does exactly that: it applies the paper's Definition 3.11
+//! criteria with [`sraa_pentagon::PentagonAnalysis`] as the less-than
+//! oracle instead of the sparse constraint solution.
+//!
+//! Like the sparse analysis, it needs the program in e-SSA form —
+//! without σ-renaming, a branch refinement post-dates the definitions
+//! of the values it constrains, and the def-point queries that make
+//! Definition 3.11 sound cannot see it (demonstrated by
+//! `figure_1b_needs_live_range_splitting` in `sraa-pentagon`). The
+//! constructor performs the conversion, mirroring
+//! [`StrictInequalityAa::new`](crate::StrictInequalityAa::new).
+
+use crate::{AliasAnalysis, AliasResult};
+use sraa_core::{derived_pointer, strip_copies};
+use sraa_ir::{FuncId, InstKind, Module, Type, Value};
+use sraa_pentagon::PentagonAnalysis;
+
+/// Pentagon-based alias analysis (dense interval × strict-upper-bound
+/// domain behind the paper's disambiguation criteria).
+#[derive(Debug)]
+pub struct PentagonAa {
+    analysis: PentagonAnalysis,
+}
+
+impl PentagonAa {
+    /// Converts `module` to e-SSA form and runs the dense fixpoint.
+    pub fn new(module: &mut Module) -> Self {
+        let _ = sraa_essa::transform_module(module);
+        Self { analysis: PentagonAnalysis::run(module) }
+    }
+
+    /// Runs the dense fixpoint on a module that is *already* in e-SSA
+    /// form (e.g. one transformed by
+    /// [`StrictInequalityAa::new`](crate::StrictInequalityAa::new), so
+    /// both analyses answer queries about the same program).
+    pub fn on_prepared(module: &Module) -> Self {
+        Self { analysis: PentagonAnalysis::run(module) }
+    }
+
+    /// Access to the underlying Pentagon analysis.
+    pub fn analysis(&self) -> &PentagonAnalysis {
+        &self.analysis
+    }
+
+    fn proves_lt(&self, module: &Module, f: FuncId, a: Value, b: Value) -> bool {
+        self.analysis.proves_lt(module, f, a, b)
+    }
+
+    /// Definition 3.11 with the Pentagon oracle.
+    fn no_alias(&self, module: &Module, f: FuncId, p1: Value, p2: Value) -> bool {
+        let func = module.function(f);
+        let is_ptr = |v: Value| func.value_type(v).is_some_and(Type::is_ptr);
+        if !is_ptr(p1) || !is_ptr(p2) {
+            return false;
+        }
+        // Criterion 1: the pointers themselves are ordered.
+        if self.proves_lt(module, f, p1, p2) || self.proves_lt(module, f, p2, p1) {
+            return true;
+        }
+        // Criterion 2: same base, strictly ordered variable offsets.
+        if let (Some((b1, x1)), Some((b2, x2))) =
+            (derived_pointer(func, p1), derived_pointer(func, p2))
+        {
+            if strip_copies(func, b1) == strip_copies(func, b2) {
+                let is_var = |x: Value| !matches!(func.inst(x).kind, InstKind::Const(_));
+                if is_var(x1)
+                    && is_var(x2)
+                    && (self.proves_lt(module, f, x1, x2) || self.proves_lt(module, f, x2, x1))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl AliasAnalysis for PentagonAa {
+    fn name(&self) -> String {
+        "PT".to_string()
+    }
+
+    fn alias(&self, module: &Module, func: FuncId, p1: Value, p2: Value) -> AliasResult {
+        if p1 == p2 {
+            return AliasResult::MustAlias;
+        }
+        if self.no_alias(module, func, p1, p2) {
+            AliasResult::NoAlias
+        } else {
+            AliasResult::MayAlias
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrictInequalityAa;
+
+    fn pointer_operands(m: &Module, name: &str) -> (FuncId, Vec<Value>) {
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let mut ptrs = Vec::new();
+        for b in f.block_ids() {
+            for (_, d) in f.block_insts(b) {
+                match &d.kind {
+                    InstKind::Load { ptr } => ptrs.push(*ptr),
+                    InstKind::Store { ptr, .. } => ptrs.push(*ptr),
+                    _ => {}
+                }
+            }
+        }
+        (fid, ptrs)
+    }
+
+    #[test]
+    fn pentagon_disambiguates_the_motivating_loop() {
+        let mut m = sraa_minic::compile(
+            r#"
+            void f(int* v, int N) {
+                for (int i = 0, j = N; i < j; i++, j--) v[i] = v[j];
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PentagonAa::new(&mut m);
+        let (fid, ptrs) = pointer_operands(&m, "f");
+        assert_eq!(pt.alias(&m, fid, ptrs[0], ptrs[1]), AliasResult::NoAlias);
+    }
+
+    #[test]
+    fn pentagon_and_lt_agree_on_figure_1a() {
+        let src = r#"
+            void ins_sort(int* v, int N) {
+                for (int i = 0; i < N - 1; i++) {
+                    for (int j = i + 1; j < N; j++) {
+                        if (v[i] > v[j]) {
+                            int tmp = v[i];
+                            v[i] = v[j];
+                            v[j] = tmp;
+                        }
+                    }
+                }
+            }
+        "#;
+        let mut m = sraa_minic::compile(src).unwrap();
+        let lt = StrictInequalityAa::new(&mut m);
+        let pt = PentagonAa::on_prepared(&m);
+        let (fid, ptrs) = pointer_operands(&m, "ins_sort");
+        let mut lt_no = 0;
+        let mut pt_no = 0;
+        for (i, &p1) in ptrs.iter().enumerate() {
+            for &p2 in &ptrs[i + 1..] {
+                if lt.alias(&m, fid, p1, p2) == AliasResult::NoAlias {
+                    lt_no += 1;
+                }
+                if pt.alias(&m, fid, p1, p2) == AliasResult::NoAlias {
+                    pt_no += 1;
+                }
+            }
+        }
+        assert!(lt_no > 0 && pt_no > 0, "both must disambiguate v[i]/v[j] pairs");
+    }
+
+    #[test]
+    fn pentagon_never_contradicts_must_alias() {
+        let mut m = sraa_minic::compile(
+            "void g(int* p) { int* q = p; *q = 1; *p = 2; }",
+        )
+        .unwrap();
+        let pt = PentagonAa::new(&mut m);
+        let (fid, ptrs) = pointer_operands(&m, "g");
+        for &p1 in &ptrs {
+            for &p2 in &ptrs {
+                assert_ne!(pt.alias(&m, fid, p1, p2), AliasResult::NoAlias);
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Steensgaard-style unification-based points-to analysis.
+//!
+//! The paper's related-work discussion places its contribution between the
+//! two classic points-to families: inclusion-based (Andersen [3], our
+//! [`AndersenAnalysis`](crate::AndersenAnalysis)) and unification-based
+//! (Steensgaard [34], this module). Steensgaard's runs in almost-linear
+//! time by *unifying* the two sides of every assignment instead of
+//! tracking subset constraints — cheaper and strictly less precise than
+//! Andersen's, and like both of them completely blind to offsets within
+//! one object. Including it rounds out the baseline family for the
+//! benchmark harness.
+//!
+//! Formulation: every pointer variable and every abstract object gets a
+//! union-find node; each equivalence class owns (lazily) a *pointee*
+//! class. `p = q` unifies `p` and `q`; `p = *q` unifies `p` with
+//! `pointee(q)`; `*p = q` unifies `pointee(p)` with `q`; allocation sites
+//! attach their object to `pointee(p)`. Classes reached by external
+//! pointers are poisoned as `unknown`.
+
+use crate::{AliasAnalysis, AliasResult};
+use sraa_core::VarIndex;
+use sraa_ir::{FuncId, InstKind, Module, Type, Value};
+
+/// Unification-based (Steensgaard) points-to analysis.
+#[derive(Clone, Debug)]
+pub struct SteensgaardAnalysis {
+    index: VarIndex,
+    uf: UnionFind,
+    /// Pointee class per class representative (dense, by node id).
+    pointee: Vec<Option<u32>>,
+    /// Class contains at least one concrete allocation site.
+    has_object: Vec<bool>,
+    /// Class may contain objects the module cannot see.
+    unknown: Vec<bool>,
+}
+
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+}
+
+impl SteensgaardAnalysis {
+    /// Builds and solves the unification constraints for `module`.
+    pub fn new(module: &Module) -> Self {
+        let index = VarIndex::new(module);
+        // Nodes: one per module value; objects and pointee cells are
+        // appended on demand.
+        let mut a = SteensgaardAnalysis {
+            uf: UnionFind::new(index.len()),
+            pointee: vec![None; index.len()],
+            has_object: vec![false; index.len()],
+            unknown: vec![false; index.len()],
+            index,
+        };
+
+        let mut internally_called = vec![false; module.num_functions()];
+        for (_, f) in module.functions() {
+            for b in f.block_ids() {
+                for (_, d) in f.block_insts(b) {
+                    if let InstKind::Call { callee, .. } = &d.kind {
+                        internally_called[callee.index()] = true;
+                    }
+                }
+            }
+        }
+
+        for (fid, f) in module.functions() {
+            let is_ptr = |v: Value| f.value_type(v).is_some_and(Type::is_ptr);
+            for b in f.block_ids() {
+                for (v, data) in f.block_insts(b) {
+                    let vid = self_id(&a.index, fid, v);
+                    match &data.kind {
+                        InstKind::Alloca { .. }
+                        | InstKind::Malloc { .. }
+                        | InstKind::GlobalAddr(_) => {
+                            let pointee = a.pointee_of(vid);
+                            a.mark_object(pointee);
+                        }
+                        InstKind::Copy { src, .. } | InstKind::Gep { base: src, .. }
+                            if is_ptr(v) =>
+                        {
+                            let sid = self_id(&a.index, fid, *src);
+                            a.unify(vid, sid);
+                        }
+                        InstKind::Phi { incomings } if is_ptr(v) => {
+                            for (_, x) in incomings {
+                                let xid = self_id(&a.index, fid, *x);
+                                a.unify(vid, xid);
+                            }
+                        }
+                        InstKind::Load { ptr } if is_ptr(v) => {
+                            let pid = self_id(&a.index, fid, *ptr);
+                            let pointee = a.pointee_of(pid);
+                            a.unify(vid, pointee as usize);
+                        }
+                        InstKind::Store { ptr, value }
+                            if is_ptr(*value) => {
+                                let pid = self_id(&a.index, fid, *ptr);
+                                let pointee = a.pointee_of(pid);
+                                let sid = self_id(&a.index, fid, *value);
+                                a.unify(pointee as usize, sid);
+                            }
+                        InstKind::Param(_) if is_ptr(v)
+                            && !internally_called[fid.index()] => {
+                                let pointee = a.pointee_of(vid);
+                                a.mark_unknown(pointee);
+                            }
+                        InstKind::Opaque if is_ptr(v) => {
+                            let pointee = a.pointee_of(vid);
+                            a.mark_unknown(pointee);
+                        }
+                        InstKind::Call { callee, args } => {
+                            let cf = module.function(*callee);
+                            for (i, arg) in args.iter().enumerate() {
+                                if f.value_type(*arg).is_some_and(Type::is_ptr) {
+                                    let formal =
+                                        self_id(&a.index, *callee, cf.param_value(i));
+                                    let aid = self_id(&a.index, fid, *arg);
+                                    a.unify(formal, aid);
+                                }
+                            }
+                            if is_ptr(v) {
+                                for cb in cf.block_ids() {
+                                    if let Some(t) = cf.terminator(cb) {
+                                        if let InstKind::Ret(Some(r)) = cf.inst(t).kind {
+                                            let rid = self_id(&a.index, *callee, r);
+                                            a.unify(vid, rid);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    fn pointee_of(&mut self, node: usize) -> u32 {
+        let root = self.uf.find(node as u32) as usize;
+        if let Some(p) = self.pointee[root] {
+            return self.uf.find(p);
+        }
+        let fresh = self.uf.push();
+        self.pointee.push(None);
+        self.has_object.push(false);
+        self.unknown.push(false);
+        self.pointee[root] = Some(fresh);
+        fresh
+    }
+
+    fn mark_object(&mut self, class: u32) {
+        let r = self.uf.find(class) as usize;
+        self.has_object[r] = true;
+    }
+
+    fn mark_unknown(&mut self, class: u32) {
+        let r = self.uf.find(class) as usize;
+        self.unknown[r] = true;
+    }
+
+    /// Steensgaard's join: unifies two classes *and their pointees,
+    /// recursively* — this cascading merge is what makes the analysis
+    /// almost linear and is exactly where it loses precision to Andersen's.
+    fn unify(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.uf.find(a as u32), self.uf.find(b as u32));
+        if ra == rb {
+            return;
+        }
+        let (ra, rb) = (ra as usize, rb as usize);
+        // Merge rb into ra.
+        self.uf.parent[rb] = ra as u32;
+        self.has_object[ra] |= self.has_object[rb];
+        self.unknown[ra] |= self.unknown[rb];
+        match (self.pointee[ra], self.pointee[rb]) {
+            (None, Some(p)) => self.pointee[ra] = Some(p),
+            (Some(pa), Some(pb)) => self.unify(pa as usize, pb as usize),
+            _ => {}
+        }
+    }
+
+    fn class_info(&self, f: FuncId, v: Value) -> (u32, bool, bool) {
+        // Immutable find (no path compression).
+        let mut x = self.index.id(f, v) as u32;
+        while self.uf.parent[x as usize] != x {
+            x = self.uf.parent[x as usize];
+        }
+        let pointee = self.pointee[x as usize].map(|mut p| {
+            while self.uf.parent[p as usize] != p {
+                p = self.uf.parent[p as usize];
+            }
+            p
+        });
+        match pointee {
+            Some(p) => (p, self.has_object[p as usize], self.unknown[p as usize]),
+            None => (u32::MAX, false, true), // never dereferenced: stay safe
+        }
+    }
+}
+
+fn self_id(index: &VarIndex, f: FuncId, v: Value) -> usize {
+    index.id(f, v)
+}
+
+impl AliasAnalysis for SteensgaardAnalysis {
+    fn name(&self) -> String {
+        "ST".to_string()
+    }
+
+    fn alias(&self, _module: &Module, func: FuncId, p1: Value, p2: Value) -> AliasResult {
+        if p1 == p2 {
+            return AliasResult::MustAlias;
+        }
+        let (c1, o1, u1) = self.class_info(func, p1);
+        let (c2, o2, u2) = self.class_info(func, p2);
+        if u1 || u2 || c1 == u32::MAX || c2 == u32::MAX {
+            return AliasResult::MayAlias;
+        }
+        if c1 != c2 && o1 && o2 {
+            AliasResult::NoAlias
+        } else {
+            AliasResult::MayAlias
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AndersenAnalysis;
+
+    fn prepared(src: &str) -> (Module, SteensgaardAnalysis) {
+        let m = sraa_minic::compile(src).unwrap();
+        let st = SteensgaardAnalysis::new(&m);
+        (m, st)
+    }
+
+    fn mem_ptrs(m: &Module, name: &str) -> (FuncId, Vec<Value>) {
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let mut out = Vec::new();
+        for b in f.block_ids() {
+            for (_, d) in f.block_insts(b) {
+                match &d.kind {
+                    InstKind::Load { ptr } => out.push(*ptr),
+                    InstKind::Store { ptr, .. } => out.push(*ptr),
+                    _ => {}
+                }
+            }
+        }
+        (fid, out)
+    }
+
+    #[test]
+    fn distinct_mallocs_do_not_alias() {
+        let (m, st) = prepared(
+            "int main() { int* p = malloc(4); int* q = malloc(4); *p = 1; *q = 2; return 0; }",
+        );
+        let (fid, ptrs) = mem_ptrs(&m, "main");
+        assert_eq!(st.alias(&m, fid, ptrs[0], ptrs[1]), AliasResult::NoAlias);
+    }
+
+    #[test]
+    fn unification_merges_where_andersen_does_not() {
+        // The φ that merges p and q makes Steensgaard unify all three
+        // variables — and hence the *pointees* of p and q — while Andersen
+        // only adds both objects to r's set and keeps p and q apart. The
+        // classic precision gap between the two families.
+        let src = r#"
+            int main() {
+                int* p = malloc(4);
+                int* q = malloc(4);
+                int* r = p;
+                if (input() > 0) r = q;
+                *p = 1; *q = 2; *r = 3;
+                return 0;
+            }
+        "#;
+        let (m, st) = prepared(src);
+        let an = AndersenAnalysis::new(&m);
+        let (fid, ptrs) = mem_ptrs(&m, "main");
+        // *p vs *q:
+        assert_eq!(
+            an.alias(&m, fid, ptrs[0], ptrs[1]),
+            AliasResult::NoAlias,
+            "Andersen keeps p and q apart"
+        );
+        assert_eq!(
+            st.alias(&m, fid, ptrs[0], ptrs[1]),
+            AliasResult::MayAlias,
+            "Steensgaard unifies them through r"
+        );
+    }
+
+    #[test]
+    fn flow_through_memory_is_tracked() {
+        let (m, st) = prepared(
+            r#"
+            int main() {
+                int* p = malloc(4);
+                int** slot = malloc(1);
+                slot[0] = p;
+                int* q = slot[0];
+                *q = 1;
+                *p = 2;
+                return 0;
+            }
+            "#,
+        );
+        let (fid, ptrs) = mem_ptrs(&m, "main");
+        let q = ptrs[ptrs.len() - 2];
+        let p = ptrs[ptrs.len() - 1];
+        assert_eq!(st.alias(&m, fid, q, p), AliasResult::MayAlias);
+    }
+
+    #[test]
+    fn entry_params_are_unknown() {
+        let (m, st) = prepared("int f(int* p, int* q) { *p = 1; *q = 2; return 0; }");
+        let (fid, ptrs) = mem_ptrs(&m, "f");
+        assert_eq!(st.alias(&m, fid, ptrs[0], ptrs[1]), AliasResult::MayAlias);
+    }
+
+    #[test]
+    fn never_more_precise_than_andersen() {
+        // Differential check on a workload: every Steensgaard NoAlias must
+        // also be an Andersen NoAlias (unification ⊆ inclusion precision).
+        let w = sraa_synth::spec_generate_by_name("astar").unwrap();
+        let m = sraa_minic::compile(&w.source).unwrap();
+        let st = SteensgaardAnalysis::new(&m);
+        let an = AndersenAnalysis::new(&m);
+        for (fid, _) in m.functions().take(10) {
+            let ptrs = crate::AaEval::pointer_values(&m, fid);
+            for (i, &p) in ptrs.iter().enumerate().take(30) {
+                for &q in ptrs.iter().skip(i + 1).take(30) {
+                    if st.alias(&m, fid, p, q) == AliasResult::NoAlias {
+                        assert_eq!(
+                            an.alias(&m, fid, p, q),
+                            AliasResult::NoAlias,
+                            "ST claims NoAlias where CF does not: {p} vs {q} in {fid}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

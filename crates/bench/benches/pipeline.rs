@@ -1,0 +1,55 @@
+//! End-to-end pipeline benchmarks: MiniC → SSA → e-SSA → ranges →
+//! constraints → solved LT relation, on workloads of growing size.
+//! This is the "time to analyse one benchmark" quantity behind the
+//! paper's §4.2 scalability claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sraa_core::StrictInequalityAnalysis;
+use sraa_synth::{spec_generate_by_name, test_suite};
+
+fn spec_generate(name: &str) -> sraa_synth::Workload {
+    spec_generate_by_name(name).expect("known profile")
+}
+
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10); // whole-module analyses are seconds-scale
+    for name in ["lbm", "gobmk", "gcc"] {
+        let w = spec_generate(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                let mut m = sraa_minic::compile(&w.source).unwrap();
+                let lt = StrictInequalityAnalysis::run(&mut m);
+                std::hint::black_box(lt.stats().pops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend_only(c: &mut Criterion) {
+    let suite = test_suite(20);
+    let w = suite.last().unwrap().clone();
+    c.bench_function("frontend/compile_largest_of_20", |b| {
+        b.iter(|| std::hint::black_box(sraa_minic::compile(&w.source).unwrap()))
+    });
+}
+
+fn bench_essa_only(c: &mut Criterion) {
+    let w = spec_generate("gobmk");
+    let module = sraa_minic::compile(&w.source).unwrap();
+    let mut group = c.benchmark_group("essa");
+    group.sample_size(10);
+    group.bench_function("transform_gobmk", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| std::hint::black_box(sraa_essa::transform_module(&mut m).1),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_frontend_only, bench_essa_only);
+criterion_main!(benches);

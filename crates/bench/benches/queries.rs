@@ -1,0 +1,123 @@
+//! Alias-query latency: how expensive is one `alias(p1, p2)` call for each
+//! analysis once its data structures are built? LLVM cares because
+//! `aa-eval` issues millions of queries (186M for the paper's gcc run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sraa_alias::{AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, StrictInequalityAa};
+
+fn bench_query_latency(c: &mut Criterion) {
+    let w = sraa_synth::spec_generate_by_name("gobmk").expect("known profile");
+    let mut m = sraa_minic::compile(&w.source).unwrap();
+    let lt = StrictInequalityAa::new(&mut m);
+    let ba = BasicAliasAnalysis::new(&m);
+    let cf = AndersenAnalysis::new(&m);
+
+    let (fid, _) = m.functions().nth(2).expect("gobmk has many functions");
+    let ptrs = AaEval::pointer_values(&m, fid);
+    assert!(ptrs.len() >= 8);
+
+    let mut group = c.benchmark_group("query");
+    let pairs: Vec<_> =
+        (0..ptrs.len().min(32)).flat_map(|i| (i + 1..ptrs.len().min(32)).map(move |j| (i, j))).collect();
+    group.bench_function("BA", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(i, j) in &pairs {
+                n += (ba.alias(&m, fid, ptrs[i], ptrs[j]) == sraa_alias::AliasResult::NoAlias)
+                    as u32;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.bench_function("LT", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(i, j) in &pairs {
+                n += (lt.alias(&m, fid, ptrs[i], ptrs[j]) == sraa_alias::AliasResult::NoAlias)
+                    as u32;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.bench_function("CF", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(i, j) in &pairs {
+                n += (cf.alias(&m, fid, ptrs[i], ptrs[j]) == sraa_alias::AliasResult::NoAlias)
+                    as u32;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis_construction(c: &mut Criterion) {
+    let w = sraa_synth::spec_generate_by_name("milc").expect("known profile");
+    let module = sraa_minic::compile(&w.source).unwrap();
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("BA_milc", |b| {
+        b.iter(|| std::hint::black_box(BasicAliasAnalysis::new(&module)))
+    });
+    group.bench_function("CF_milc", |b| {
+        b.iter(|| std::hint::black_box(AndersenAnalysis::new(&module)))
+    });
+    group.bench_function("LT_milc", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| std::hint::black_box(StrictInequalityAa::new(&mut m)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The paper §5: "we chose to compute a transitive closure of less-than
+/// relations, whereas ABCD works on demand". Measure both strategies over
+/// the same constraint system: closure pays once, on-demand pays per query.
+fn bench_closure_vs_on_demand(c: &mut Criterion) {
+    let w = sraa_synth::spec_generate_by_name("milc").expect("known profile");
+    let mut m = sraa_minic::compile(&w.source).unwrap();
+    let (ranges, _) = sraa_essa::transform_module(&mut m);
+    let sys = sraa_core::generate(&m, &ranges, Default::default());
+
+    let mut group = c.benchmark_group("lt-strategy");
+    group.sample_size(20);
+    group.bench_function("closure/solve", |b| {
+        b.iter(|| std::hint::black_box(sraa_core::solve(&sys.constraints, sys.num_vars).stats.pops))
+    });
+    // Query workload: a deterministic sample of pairs.
+    let n = sys.num_vars;
+    let pairs: Vec<(usize, usize)> =
+        (0..2000).map(|i| ((i * 7919) % n, (i * 104729) % n)).collect();
+    let solution = sraa_core::solve(&sys.constraints, sys.num_vars);
+    group.bench_function("closure/2000_queries", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += solution.less_than(x, y) as u32;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("on_demand/2000_queries_cold", |b| {
+        b.iter(|| {
+            let mut prover = sraa_core::OnDemandProver::new(&sys);
+            let mut hits = 0u32;
+            for &(x, y) in &pairs {
+                hits += prover.less_than(x, y) as u32;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_latency,
+    bench_analysis_construction,
+    bench_closure_vs_on_demand
+);
+criterion_main!(benches);

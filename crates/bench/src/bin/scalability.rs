@@ -1,0 +1,70 @@
+//! §4.2 scalability statistics:
+//!
+//! * worklist pops per constraint (paper: ≈ 2.12 over SPEC + test-suite);
+//! * solve time vs number of constraints (paper: R² = 0.988);
+//! * the LT-set size distribution (paper: > 95% of sets have ≤ 2 elements).
+
+use sraa_bench::{r_squared, suite_n};
+use std::time::Instant;
+
+fn main() {
+    let mut ws = sraa_synth::test_suite(suite_n());
+    ws.extend(sraa_synth::spec_all());
+
+    let mut total_constraints = 0u64;
+    let mut total_pops = 0u64;
+    let mut xs = Vec::new(); // constraints
+    let mut ys = Vec::new(); // solve+pipeline time (µs)
+    let mut size_hist: std::collections::BTreeMap<usize, usize> = Default::default();
+
+    for w in &ws {
+        // The paper's §4.2 question is specifically about *constraint
+        // solving*: prepare the system outside the timer, then time the
+        // worklist solver alone.
+        let mut m = sraa_minic::compile(&w.source).expect("workloads compile");
+        let (ranges, _) = sraa_essa::transform_module(&mut m);
+        let sys = sraa_core::generate(&m, &ranges, Default::default());
+        // Best of three runs to suppress timer noise on tiny systems.
+        let mut dt = f64::INFINITY;
+        let mut solution = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let sol = sraa_core::solve(&sys.constraints, sys.num_vars);
+            dt = dt.min(t0.elapsed().as_secs_f64() * 1e6);
+            solution = Some(sol);
+        }
+        let solution = solution.expect("ran at least once");
+        let stats = &solution.stats;
+        total_constraints += stats.constraints as u64;
+        total_pops += stats.pops;
+        xs.push(stats.constraints as f64);
+        ys.push(dt);
+        for (sz, n) in solution.size_histogram() {
+            *size_hist.entry(sz).or_default() += n;
+        }
+    }
+
+    println!("benchmarks analysed      : {}", ws.len());
+    println!("total constraints        : {total_constraints}");
+    println!("total worklist pops      : {total_pops}");
+    println!(
+        "pops per constraint      : {:.2}   (paper: 2.12)",
+        total_pops as f64 / total_constraints.max(1) as f64
+    );
+    println!(
+        "R²(time, #constraints)   : {:.4}  (paper: 0.988)",
+        r_squared(&xs, &ys)
+    );
+
+    let total_vars: usize = size_hist.values().sum();
+    let small: usize = size_hist.iter().filter(|(s, _)| **s <= 2).map(|(_, n)| n).sum();
+    println!(
+        "LT sets with ≤ 2 elements: {:.1}%  (paper: >95%)",
+        small as f64 / total_vars.max(1) as f64 * 100.0
+    );
+    println!();
+    println!("LT set size histogram (size: count):");
+    for (sz, n) in size_hist.iter().take(12) {
+        println!("  {sz:>3}: {n}");
+    }
+}

@@ -1,0 +1,479 @@
+//! The end-to-end strict-inequality analysis pipeline.
+//!
+//! ```text
+//! SSA module ──σ-split──▶ e-SSA ──range──▶ intervals ──sub-split──▶ e-SSA(full)
+//!            ──Figure 7──▶ constraints ──worklist──▶ LT sets
+//! ```
+//!
+//! [`StrictInequalityAnalysis::run`] performs the whole pipeline, mutating
+//! the module into e-SSA form (the paper's `vSSA` pass) and solving the
+//! constraint system (the paper's `sraa` pass).
+
+use crate::constraints::{self, GenConfig};
+use crate::solver::{self, Solution, SolveStats};
+use crate::var_index::VarIndex;
+use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
+use sraa_range::RangeAnalysis;
+
+/// The solved less-than relation over a whole module, plus the pointer
+/// disambiguation criteria of the paper's Definition 3.11.
+#[derive(Clone, Debug)]
+pub struct StrictInequalityAnalysis {
+    index: VarIndex,
+    solution: Solution,
+    ranges: RangeAnalysis,
+    cfg: GenConfig,
+}
+
+impl StrictInequalityAnalysis {
+    /// Runs the full pipeline with default (paper-faithful) settings.
+    ///
+    /// The module is mutated: it is converted to e-SSA form first.
+    pub fn run(module: &mut Module) -> Self {
+        Self::run_with(module, GenConfig::default())
+    }
+
+    /// Runs the full pipeline with an explicit configuration.
+    pub fn run_with(module: &mut Module, cfg: GenConfig) -> Self {
+        let (ranges, _) = sraa_essa::transform_module(module);
+        Self::on_prepared(module, &ranges, cfg)
+    }
+
+    /// Analyzes a module that is *already* in e-SSA form, with
+    /// caller-provided ranges. Useful when the caller also needs the
+    /// intermediate artifacts.
+    pub fn on_prepared(module: &Module, ranges: &RangeAnalysis, cfg: GenConfig) -> Self {
+        let index = VarIndex::new(module);
+        let mut sys = constraints::generate_with_index(module, ranges, cfg, &index);
+        let mut solution = solver::solve(&sys.constraints, sys.num_vars);
+
+        // Parameter-pair refinement (see `GenConfig::param_pairs`): when
+        // every internal call site orders two arguments, the corresponding
+        // formals are ordered for the whole frame. Each round may unlock
+        // further pairs (arguments that are themselves parameters), so
+        // iterate; the element sets only grow, bounded by #param².
+        if cfg.param_pairs {
+            loop {
+                let mut added = false;
+                for info in &sys.param_info {
+                    if info.sites.is_empty() {
+                        continue;
+                    }
+                    for (i, &pi) in info.params.iter().enumerate() {
+                        for (j, &pj) in info.params.iter().enumerate() {
+                            if i == j || solution.less_than(pi, pj) {
+                                continue;
+                            }
+                            let Some(&cu) = sys.param_union.get(&pj) else { continue };
+                            let holds_everywhere = info.sites.iter().all(|site| {
+                                matches!((site[i], site[j]), (Some(a), Some(b))
+                                    if solution.less_than(a, b))
+                            });
+                            if holds_everywhere {
+                                if let constraints::Constraint::Union { elems, .. } =
+                                    &mut sys.constraints[cu]
+                                {
+                                    elems.push(pi);
+                                    added = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !added {
+                    break;
+                }
+                solution = solver::solve(&sys.constraints, sys.num_vars);
+            }
+        }
+
+        Self { index, solution, ranges: ranges.clone(), cfg }
+    }
+
+    /// Whether `a < b` is proven: `a ∈ LT(b)`.
+    pub fn less_than(&self, f: FuncId, a: Value, b: Value) -> bool {
+        self.solution.less_than(self.index.id(f, a), self.index.id(f, b))
+    }
+
+    /// Cross-function variant (the relation is module-wide; meaningful for
+    /// values related through the inter-procedural pseudo-φs).
+    pub fn less_than_cross(&self, fa: FuncId, a: Value, fb: FuncId, b: Value) -> bool {
+        self.solution.less_than(self.index.id(fa, a), self.index.id(fb, b))
+    }
+
+    /// The `LT` set of `v`, as `(function, value)` pairs.
+    pub fn lt_set(&self, f: FuncId, v: Value) -> Vec<(FuncId, Value)> {
+        self.solution
+            .lt_set(self.index.id(f, v))
+            .into_iter()
+            .map(|id| self.index.func_of(id))
+            .collect()
+    }
+
+    /// Solver statistics (constraint count, worklist pops, …).
+    pub fn stats(&self) -> &SolveStats {
+        &self.solution.stats
+    }
+
+    /// Histogram of `LT` set sizes (the paper observes ≥95% have ≤ 2).
+    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
+        self.solution.size_histogram()
+    }
+
+    /// The paper's Definition 3.11: can `p1` and `p2` be proven disjoint?
+    ///
+    /// * Criterion 1 — `p1 ∈ LT(p2)` or `p2 ∈ LT(p1)`;
+    /// * Criterion 2 — `p1 = p + x1`, `p2 = p + x2` (same base, both
+    ///   offsets variables) with `x1 ∈ LT(x2)` or `x2 ∈ LT(x1)`.
+    ///
+    /// Both pointers must live in function `f`. Non-pointer operands
+    /// always answer `false`.
+    pub fn no_alias(&self, func: &Function, f: FuncId, p1: Value, p2: Value) -> bool {
+        if p1 == p2 {
+            return false;
+        }
+        let is_ptr = |v: Value| func.value_type(v).is_some_and(Type::is_ptr);
+        if !is_ptr(p1) || !is_ptr(p2) {
+            return false;
+        }
+        // Criterion 1.
+        if self.less_than(f, p1, p2) || self.less_than(f, p2, p1) {
+            return true;
+        }
+        // Criterion 2 (and, when enabled, the §3.6 range criterion).
+        if let (Some((b1, x1)), Some((b2, x2))) =
+            (derived_pointer(func, p1), derived_pointer(func, p2))
+        {
+            if strip_copies(func, b1) == strip_copies(func, b2) {
+                let is_var = |x: Value| !matches!(func.inst(x).kind, InstKind::Const(_));
+                if is_var(x1)
+                    && is_var(x2)
+                    && (self.less_than(f, x1, x2) || self.less_than(f, x2, x1))
+                {
+                    return true;
+                }
+            }
+        }
+        // §3.6 range criterion (opt-in): accumulate offset intervals along
+        // the whole gep chain down to a common root object; disjoint total
+        // intervals cannot overlap. This is the classic value-set
+        // disambiguation the paper cites as complementary prior work.
+        if self.cfg.range_offsets {
+            let (r1, iv1) = self.root_and_offset(func, f, p1);
+            let (r2, iv2) = self.root_and_offset(func, f, p2);
+            if r1 == r2 && iv1.meet(&iv2).is_bottom() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Walks copies and nested `gep`s down to the root pointer, summing
+    /// the offsets' intervals.
+    fn root_and_offset(
+        &self,
+        func: &Function,
+        f: FuncId,
+        p: Value,
+    ) -> (Value, sraa_range::Interval) {
+        let mut total = sraa_range::Interval::constant(0);
+        let mut cur = strip_copies(func, p);
+        while let InstKind::Gep { base, offset } = &func.inst(cur).kind {
+            let r = match func.inst(*offset).kind {
+                InstKind::Const(c) => sraa_range::Interval::constant(c),
+                _ => self.ranges.range(f, *offset),
+            };
+            total = total.add(&r);
+            cur = strip_copies(func, *base);
+        }
+        (cur, total)
+    }
+}
+
+/// If `p` is a derived pointer `base + offset`, returns `(base, offset)`.
+/// Copies around the `gep` are looked through.
+pub fn derived_pointer(func: &Function, p: Value) -> Option<(Value, Value)> {
+    match &func.inst(strip_copies(func, p)).kind {
+        InstKind::Gep { base, offset } => Some((*base, *offset)),
+        _ => None,
+    }
+}
+
+/// Follows `Copy` chains to the underlying value (σ-copies and live-range
+/// splits denote the same run-time value as their source).
+pub fn strip_copies(func: &Function, mut v: Value) -> Value {
+    loop {
+        match &func.inst(v).kind {
+            InstKind::Copy { src, .. } => v = *src,
+            _ => return v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(src: &str) -> (Module, StrictInequalityAnalysis) {
+        let mut m = sraa_minic::compile(src).unwrap();
+        let lt = StrictInequalityAnalysis::run(&mut m);
+        sraa_ir::verify(&m).unwrap();
+        (m, lt)
+    }
+
+    /// Finds the (unique) load and store addresses of a function, in
+    /// textual order — convenient handles on `v[i]`-style expressions.
+    fn memory_addresses(m: &Module, name: &str) -> (FuncId, Vec<Value>) {
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let mut out = Vec::new();
+        for b in f.block_ids() {
+            for (_, d) in f.block_insts(b) {
+                match &d.kind {
+                    InstKind::Load { ptr } => out.push(*ptr),
+                    InstKind::Store { ptr, .. } => out.push(*ptr),
+                    _ => {}
+                }
+            }
+        }
+        (fid, out)
+    }
+
+    #[test]
+    fn figure1a_ins_sort_disambiguates_vi_vj() {
+        // Paper Figure 1 (a): inside the inner loop, i < j always, so v[i]
+        // and v[j] never alias — the motivating example.
+        let (m, lt) = analyzed(
+            r#"
+            void ins_sort(int* v, int N) {
+                int i; int j;
+                for (i = 0; i < N - 1; i++) {
+                    for (j = i + 1; j < N; j++) {
+                        if (v[i] > v[j]) {
+                            int tmp = v[i];
+                            v[i] = v[j];
+                            v[j] = tmp;
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "ins_sort");
+        let f = m.function(fid);
+        // All addresses are geps off v with offsets i or j; every (i-offset,
+        // j-offset) pair must be disambiguated.
+        let mut checked = 0;
+        for (k, &a) in addrs.iter().enumerate() {
+            for &b in addrs.iter().skip(k + 1) {
+                let (Some((_, xa)), Some((_, xb))) =
+                    (derived_pointer(f, a), derived_pointer(f, b))
+                else {
+                    continue;
+                };
+                // Same index variable (i vs i) must NOT be disambiguated;
+                // i vs j must.
+                let same = strip_copies(f, xa) == strip_copies(f, xb);
+                if same {
+                    assert!(!lt.no_alias(f, fid, a, b), "v[i] vs v[i] must may-alias");
+                } else {
+                    assert!(lt.no_alias(f, fid, a, b), "v[i] vs v[j] must be disambiguated");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 4, "several i/j pairs should have been checked: {checked}");
+    }
+
+    #[test]
+    fn figure1b_partition_disambiguates_vi_vj() {
+        // Paper Figure 1 (b): i < j is established by the `if (i >= j) break`.
+        let (m, lt) = analyzed(
+            r#"
+            void partition(int* v, int N) {
+                int i; int j; int p; int tmp;
+                p = v[N / 2];
+                i = 0; j = N - 1;
+                while (1) {
+                    while (v[i] < p) i++;
+                    while (p < v[j]) j--;
+                    if (i >= j) break;
+                    tmp = v[i];
+                    v[i] = v[j];
+                    v[j] = tmp;
+                    i++; j--;
+                }
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "partition");
+        let f = m.function(fid);
+        // The three accesses after the break check: v[i] (load), v[i]
+        // (store), v[j] (load+store). Find a disambiguated i/j pair.
+        let mut disambiguated = 0;
+        for (k, &a) in addrs.iter().enumerate() {
+            for &b in addrs.iter().skip(k + 1) {
+                if lt.no_alias(f, fid, a, b) {
+                    disambiguated += 1;
+                }
+            }
+        }
+        assert!(
+            disambiguated >= 2,
+            "the post-break v[i]/v[j] accesses must be disambiguated: {disambiguated}"
+        );
+    }
+
+    #[test]
+    fn pointer_walk_criterion1() {
+        // for (pi = p; pi < pe; pi++): inside the loop pi < pe (σ on the
+        // comparison) — criterion 1 disambiguates *pi from *pe.
+        let (m, lt) = analyzed(
+            r#"
+            int f(int* p, int n) {
+                int* pe = p + n;
+                int s = 0;
+                for (int* pi = p; pi < pe; pi++) { s += *pi; *pe = s; }
+                return s;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "f");
+        let f = m.function(fid);
+        assert_eq!(addrs.len(), 2);
+        assert!(
+            lt.no_alias(f, fid, addrs[0], addrs[1]),
+            "pi < pe inside the loop body ⇒ no alias"
+        );
+    }
+
+    #[test]
+    fn base_vs_positive_offset() {
+        // p and p + n with n > 0: p ∈ LT(p+n) by rule 2 on the gep.
+        let (m, lt) = analyzed(
+            r#"
+            int f(int* p, int n) {
+                if (n > 0) {
+                    int* q = p + n;
+                    *q = 1;
+                    *p = 2;
+                    return *q;
+                }
+                return 0;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "f");
+        let f = m.function(fid);
+        // q vs p (first store vs second store).
+        assert!(lt.no_alias(f, fid, addrs[0], addrs[1]), "p < p+n for n > 0");
+    }
+
+    #[test]
+    fn unknown_offsets_not_disambiguated() {
+        // p + a vs p + b with unrelated a, b: must stay may-alias.
+        let (m, lt) = analyzed(
+            r#"
+            int f(int* p, int a, int b) {
+                int x = p[a];
+                int y = p[b];
+                return x + y;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "f");
+        let f = m.function(fid);
+        assert!(!lt.no_alias(f, fid, addrs[0], addrs[1]), "a and b are unrelated");
+    }
+
+    #[test]
+    fn same_pointer_is_never_no_alias() {
+        let (m, lt) = analyzed("int f(int* p) { return *p + *p; }");
+        let (fid, addrs) = memory_addresses(&m, "f");
+        let f = m.function(fid);
+        assert!(!lt.no_alias(f, fid, addrs[0], addrs[1]));
+        assert!(!lt.no_alias(f, fid, addrs[0], addrs[0]));
+    }
+
+    #[test]
+    fn malloc_pair_not_handled_by_lt() {
+        // The paper is explicit: p1 = malloc(); p2 = malloc() is NOT
+        // disambiguated by the less-than analysis (BasicAA's job).
+        let (m, lt) = analyzed(
+            r#"
+            int main() {
+                int* p = malloc(4);
+                int* q = malloc(4);
+                *p = 1; *q = 2;
+                return *p;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "main");
+        let f = m.function(fid);
+        assert!(!lt.no_alias(f, fid, addrs[0], addrs[1]));
+    }
+
+    #[test]
+    fn constant_offsets_not_handled_by_lt() {
+        // p+1 vs p+2: the paper's §3.6 says LT cannot disambiguate these
+        // (range-based analyses do).
+        let (m, lt) = analyzed(
+            r#"
+            int f(int* p) {
+                int* p1 = p + 1;
+                int* p2 = p + 2;
+                *p1 = 1; *p2 = 2;
+                return *p1;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "f");
+        let f = m.function(fid);
+        assert!(!lt.no_alias(f, fid, addrs[0], addrs[1]));
+    }
+
+    #[test]
+    fn interprocedural_relation_via_pseudo_phi() {
+        // g's parameters inherit i < j from the unique call site.
+        let (m, lt) = analyzed(
+            r#"
+            int g(int* v, int i, int j) { return v[i] + v[j]; }
+            int f(int* v, int n) {
+                int s = 0;
+                for (int i = 0; i + 1 < n; i++) s += g(v, i, i + 1);
+                return s;
+            }
+            "#,
+        );
+        let (fid, addrs) = memory_addresses(&m, "g");
+        let f = m.function(fid);
+        assert_eq!(addrs.len(), 2);
+        assert!(
+            lt.no_alias(f, fid, addrs[0], addrs[1]),
+            "i < i+1 flows into g's formals through the pseudo-φ"
+        );
+    }
+
+    #[test]
+    fn lt_sets_stay_small() {
+        let (_, lt) = analyzed(
+            r#"
+            int f(int* v, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = i + 1; j < n; j++)
+                        s += v[i] * v[j];
+                return s;
+            }
+            "#,
+        );
+        let hist = lt.size_histogram();
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        let small: usize = hist.iter().filter(|(n, _)| *n <= 4).map(|(_, c)| c).sum();
+        assert!(
+            small as f64 / total as f64 > 0.8,
+            "most LT sets should be tiny, got histogram {hist:?}"
+        );
+    }
+}

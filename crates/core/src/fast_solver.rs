@@ -1,0 +1,672 @@
+//! SCC-condensation constraint solver — the paper's §6 future work.
+//!
+//! The paper closes with: *"Currently, our research prototype can handle
+//! large programs, but its runtime is not practical … We believe that
+//! better algorithms can improve this scenario substantially. The design
+//! of such algorithms is a problem that we leave open."* This module is
+//! our answer to that open problem. It computes exactly the same greatest
+//! fixpoint as [`solve`](crate::solve) (differential- and property-tested
+//! in `tests/` and below) with three structural improvements:
+//!
+//! 1. **Topological scheduling.** The constraint dependency graph is
+//!    condensed into strongly connected components (iterative Tarjan, so
+//!    deep chains cannot overflow the stack) and solved dependencies-
+//!    first. Acyclic regions — the vast majority of real systems, see the
+//!    Figure 11 corpus — are then solved with *exactly one* evaluation
+//!    per constraint, where a FIFO worklist may revisit.
+//! 2. **Union-cycle short-circuit.** Starting from ⊤, a cyclic component
+//!    whose internal edges are all `Union`/`Copy` can never descend:
+//!    every member reads another member, `{x} ∪ ⊤ = ⊤`, and the greatest
+//!    fixpoint of the component is ⊤ (the paper's freeze rule then demotes
+//!    it to ∅). Descent enters cycles only through a φ (`Inter`), whose
+//!    identity-of-∩ treatment of ⊤ lets a grounded external source break
+//!    the cycle. The fast solver classifies each component once and skips
+//!    the iteration entirely for union-only cycles.
+//! 3. **Sorted-vector sets with sharing.** `LT` sets are immutable sorted
+//!    `Rc<[u32]>` slices: unions are k-way merges, intersections are
+//!    linear merges, `Copy` constraints and stabilised cycle members
+//!    share one allocation instead of cloning hash sets.
+//!
+//! The `solvers` Criterion bench group (`crates/bench/benches/solver.rs`)
+//! measures the effect; `EXPERIMENTS.md` records the observed speed-ups.
+
+use crate::constraints::Constraint;
+use crate::solver::{LtSet, Solution, SolveStats};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// A less-than set in the fast solver: `None` is the symbolic ⊤, and an
+/// explicit set is a sorted, deduplicated, shareable slice.
+type Set = Option<Rc<[u32]>>;
+
+/// Counters describing one [`solve_fast`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastStats {
+    /// Number of constraints solved.
+    pub constraints: usize,
+    /// Number of variables in the system.
+    pub variables: usize,
+    /// Strongly connected components in the constraint dependency graph.
+    pub sccs: usize,
+    /// Components with more than one constraint (or a self-loop).
+    pub cyclic_sccs: usize,
+    /// Cyclic components short-circuited as union-only (stay ⊤, frozen ∅).
+    pub union_cycles: usize,
+    /// Constraint evaluations until the fixpoint — the analogue of the
+    /// baseline's worklist pops. Exactly one per constraint on acyclic
+    /// systems; ≤ pops on every corpus workload (`tests/solvers.rs`),
+    /// though a pathological cycle can invert the comparison.
+    pub evals: u64,
+    /// Variables still ⊤ at the fixpoint, demoted to ∅ by the freeze rule.
+    pub frozen_tops: usize,
+}
+
+impl FastStats {
+    /// Evaluations per constraint — comparable with
+    /// [`SolveStats::pops_per_constraint`].
+    pub fn evals_per_constraint(&self) -> f64 {
+        if self.constraints == 0 {
+            0.0
+        } else {
+            self.evals as f64 / self.constraints as f64
+        }
+    }
+}
+
+/// The solved less-than relation, as produced by [`solve_fast`].
+///
+/// Query-compatible with [`Solution`]: `less_than`, `lt_set` and
+/// `size_histogram` answer identically on the same constraint system
+/// (asserted by the differential tests in this module and in
+/// `tests/fast_solver.rs`).
+#[derive(Clone, Debug)]
+pub struct FastSolution {
+    sets: Vec<Rc<[u32]>>,
+    /// Solver statistics.
+    pub stats: FastStats,
+}
+
+impl FastSolution {
+    /// Whether variable `a` is strictly less than `b` (i.e. `a ∈ LT(b)`).
+    pub fn less_than(&self, a: usize, b: usize) -> bool {
+        self.sets.get(b).is_some_and(|s| s.binary_search(&(a as u32)).is_ok())
+    }
+
+    /// The `LT` set of `x` as a sorted vector of ids.
+    pub fn lt_set(&self, x: usize) -> Vec<usize> {
+        self.sets[x].iter().map(|&i| i as usize).collect()
+    }
+
+    /// Histogram entry: how many variables have an `LT` set of size `n`?
+    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for s in &self.sets {
+            *counts.entry(s.len()).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Converts into the baseline [`Solution`] representation (hash sets),
+    /// for callers written against the baseline API. The conversion
+    /// materialises every set, so it costs what the baseline solver would
+    /// have spent on its output — use the native queries when possible.
+    pub fn into_solution(self) -> Solution {
+        let stats = SolveStats {
+            constraints: self.stats.constraints,
+            variables: self.stats.variables,
+            pops: self.stats.evals,
+            frozen_tops: self.stats.frozen_tops,
+        };
+        let sets = self
+            .sets
+            .into_iter()
+            .map(|s| LtSet::Set(s.iter().copied().collect::<HashSet<u32>>()))
+            .collect();
+        Solution::from_parts(sets, stats)
+    }
+}
+
+/// Solves the constraint system over `num_vars` variables by SCC
+/// condensation. Produces the same fixpoint as [`solve`](crate::solve).
+pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
+    let mut stats = FastStats {
+        constraints: constraints.len(),
+        variables: num_vars,
+        ..Default::default()
+    };
+
+    // defining[v] = the constraint that defines v (at most one; constraint
+    // generation emits one constraint per defined variable).
+    let mut defining: Vec<Option<u32>> = vec![None; num_vars];
+    for (ci, c) in constraints.iter().enumerate() {
+        debug_assert!(
+            defining[c.defined()].is_none(),
+            "variable {} defined by two constraints",
+            c.defined()
+        );
+        defining[c.defined()] = Some(ci as u32);
+    }
+
+    // Dependency edges: constraint ci depends on the constraints defining
+    // the variables it reads.
+    let deps: Vec<Vec<u32>> = constraints
+        .iter()
+        .map(|c| c.reads().iter().filter_map(|&r| defining[r]).collect())
+        .collect();
+
+    let sccs = tarjan_sccs(&deps);
+    stats.sccs = sccs.len();
+
+    let mut sets: Vec<Set> = vec![None; num_vars];
+
+    // Tarjan emits components dependencies-first, so by the time a
+    // component is processed every external read is final.
+    for comp in &sccs {
+        let cyclic = comp.len() > 1
+            || deps[comp[0] as usize].contains(&comp[0]);
+        if !cyclic {
+            let ci = comp[0] as usize;
+            stats.evals += 1;
+            let c = &constraints[ci];
+            sets[c.defined()] = eval(c, &sets);
+            continue;
+        }
+        stats.cyclic_sccs += 1;
+
+        if comp.iter().all(|&ci| {
+            matches!(
+                constraints[ci as usize],
+                Constraint::Union { .. } | Constraint::Copy { .. }
+            )
+        }) {
+            // Union-only cycle: stays ⊤ (see module docs). Nothing to do —
+            // the defined variables are already ⊤ and will be frozen.
+            stats.union_cycles += 1;
+            continue;
+        }
+
+        solve_component(constraints, comp, &defining, &mut sets, &mut stats);
+    }
+
+    // Freeze: demote residual ⊤ to ∅, exactly like the baseline solver.
+    let empty: Rc<[u32]> = Rc::from(Vec::new());
+    let sets = sets
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                stats.frozen_tops += 1;
+                Rc::clone(&empty)
+            })
+        })
+        .collect();
+
+    FastSolution { sets, stats }
+}
+
+/// Local worklist iteration restricted to one cyclic component. External
+/// dependencies are final; members start at ⊤ and descend to the local
+/// greatest fixpoint — chaotic iteration over a sub-system, which composed
+/// in topological order yields the global greatest fixpoint.
+fn solve_component(
+    constraints: &[Constraint],
+    comp: &[u32],
+    defining: &[Option<u32>],
+    sets: &mut [Set],
+    stats: &mut FastStats,
+) {
+    let members: HashSet<u32> = comp.iter().copied().collect();
+    // dependents within the component: defining constraint → readers.
+    let mut dependents: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+    for &ci in comp {
+        for &r in constraints[ci as usize].reads() {
+            if let Some(d) = defining[r] {
+                if members.contains(&d) {
+                    dependents.entry(d).or_default().push(ci);
+                }
+            }
+        }
+    }
+
+    let mut worklist: std::collections::VecDeque<u32> = comp.iter().copied().collect();
+    let mut on_list: HashSet<u32> = members.clone();
+    while let Some(ci) = worklist.pop_front() {
+        on_list.remove(&ci);
+        stats.evals += 1;
+        let c = &constraints[ci as usize];
+        let x = c.defined();
+        let new = eval(c, sets);
+        if new != sets[x] {
+            sets[x] = new;
+            for &d in dependents.get(&ci).map(Vec::as_slice).unwrap_or(&[]) {
+                if on_list.insert(d) {
+                    worklist.push_back(d);
+                }
+            }
+        }
+    }
+}
+
+fn eval(c: &Constraint, sets: &[Set]) -> Set {
+    match c {
+        Constraint::Init { .. } => Some(Rc::from(Vec::new())),
+        Constraint::Copy { source, .. } => sets[*source].clone(),
+        Constraint::Union { elems, sources, .. } => {
+            if sources.iter().any(|&s| sets[s].is_none()) {
+                return None; // {x} ∪ ⊤ = ⊤
+            }
+            let mut acc: Vec<u32> = elems.iter().map(|&e| e as u32).collect();
+            for &s in sources {
+                acc.extend_from_slice(sets[s].as_ref().expect("checked above"));
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            Some(Rc::from(acc))
+        }
+        Constraint::Inter { sources, .. } => {
+            // ⊤ is the identity of ∩; intersect the explicit sources,
+            // smallest first so the working set only shrinks.
+            let mut explicit: Vec<&Rc<[u32]>> =
+                sources.iter().filter_map(|&s| sets[s].as_ref()).collect();
+            if explicit.is_empty() {
+                return None;
+            }
+            explicit.sort_by_key(|s| s.len());
+            let mut acc: Vec<u32> = explicit[0].to_vec();
+            for s in &explicit[1..] {
+                acc = intersect_sorted(&acc, s);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            Some(Rc::from(acc))
+        }
+    }
+}
+
+/// Intersection of two sorted, deduplicated slices by linear merge.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan over the constraint dependency graph (`deps[c]` lists
+/// the constraints `c` reads from). Components are emitted dependencies-
+/// first — the processing order [`solve_fast`] relies on. Iterative so
+/// that chain-shaped systems (tens of thousands of constraints deep)
+/// cannot overflow the call stack.
+fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = deps.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+
+    // Explicit DFS frames: (node, next edge position to explore).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if let Some(&w) = deps[v as usize].get(*ei) {
+                *ei += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint as C;
+    use crate::solver::solve;
+
+    /// Asserts both solvers agree on every variable's `LT` set.
+    fn assert_agrees(cs: &[C], num_vars: usize) {
+        let base = solve(cs, num_vars);
+        let fast = solve_fast(cs, num_vars);
+        for x in 0..num_vars {
+            assert_eq!(
+                base.lt_set(x),
+                fast.lt_set(x),
+                "solvers disagree on LT({x}) over {cs:?}"
+            );
+        }
+        assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops);
+    }
+
+    fn example_3_4() -> Vec<C> {
+        vec![
+            C::Init { x: 0 },
+            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+            C::Inter { x: 2, sources: vec![1, 3] },
+            C::Union { x: 3, elems: vec![2], sources: vec![2] },
+            C::Init { x: 4 },
+            C::Union { x: 5, elems: vec![4], sources: vec![2] },
+            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] },
+            C::Copy { x: 8, source: 1 },
+            C::Union { x: 10, elems: vec![], sources: vec![8, 4] },
+            C::Copy { x: 9, source: 4 },
+            C::Inter { x: 6, sources: vec![3, 9, 4] },
+        ]
+    }
+
+    #[test]
+    fn agrees_on_papers_example() {
+        assert_agrees(&example_3_4(), 11);
+    }
+
+    #[test]
+    fn papers_fixpoint_reproduced_natively() {
+        let sol = solve_fast(&example_3_4(), 11);
+        assert_eq!(sol.lt_set(3), vec![0, 2], "LT(x3) = {{x0, x2}}");
+        assert_eq!(sol.lt_set(7), vec![0, 9], "LT(x1t) = {{x0, x4t}}");
+        assert!(sol.less_than(0, 1) && !sol.less_than(1, 0));
+    }
+
+    #[test]
+    fn agrees_on_chain() {
+        let n = 64;
+        let mut cs = vec![C::Init { x: 0 }];
+        for i in 1..n {
+            cs.push(C::Union { x: i, elems: vec![i - 1], sources: vec![i - 1] });
+        }
+        assert_agrees(&cs, n);
+        // Acyclic: exactly one eval per constraint.
+        let fast = solve_fast(&cs, n);
+        assert_eq!(fast.stats.evals, n as u64);
+        assert_eq!(fast.stats.cyclic_sccs, 0);
+    }
+
+    #[test]
+    fn agrees_on_phi_loop() {
+        // i = φ(c, i2); i2 = i + 1 — the canonical induction cycle.
+        let cs = vec![
+            C::Init { x: 0 },
+            C::Inter { x: 1, sources: vec![0, 2] },
+            C::Union { x: 2, elems: vec![1], sources: vec![1] },
+        ];
+        assert_agrees(&cs, 3);
+        let fast = solve_fast(&cs, 3);
+        assert_eq!(fast.stats.cyclic_sccs, 1);
+        assert_eq!(fast.stats.union_cycles, 0);
+    }
+
+    #[test]
+    fn union_cycle_short_circuits_to_frozen_empty() {
+        let cs = vec![
+            C::Union { x: 0, elems: vec![1], sources: vec![1] },
+            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+        ];
+        assert_agrees(&cs, 2);
+        let fast = solve_fast(&cs, 2);
+        assert_eq!(fast.stats.union_cycles, 1);
+        assert_eq!(fast.stats.frozen_tops, 2);
+        assert_eq!(fast.stats.evals, 0, "no iteration spent on the cycle");
+    }
+
+    #[test]
+    fn union_cycle_with_external_ground_still_stays_top() {
+        // x2/x3 form a union cycle fed by a grounded x1 — ⊤ still wins:
+        // each eval unions a member that is ⊤.
+        let cs = vec![
+            C::Init { x: 0 },
+            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+            C::Union { x: 2, elems: vec![], sources: vec![1, 3] },
+            C::Union { x: 3, elems: vec![], sources: vec![2] },
+        ];
+        assert_agrees(&cs, 4);
+    }
+
+    #[test]
+    fn copy_shares_the_allocation() {
+        let cs = vec![
+            C::Init { x: 0 },
+            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+            C::Copy { x: 2, source: 1 },
+        ];
+        let fast = solve_fast(&cs, 3);
+        assert!(Rc::ptr_eq(&fast.sets[1], &fast.sets[2]));
+    }
+
+    #[test]
+    fn self_loop_union_is_cyclic() {
+        // x0 = {1} ∪ LT(x0): a self-loop, degenerate union cycle.
+        let cs = vec![C::Union { x: 0, elems: vec![1], sources: vec![0] }];
+        assert_agrees(&cs, 2);
+        let fast = solve_fast(&cs, 2);
+        assert_eq!(fast.stats.union_cycles, 1);
+    }
+
+    #[test]
+    fn nested_loops_and_diamonds() {
+        // Two interlocking φ-cycles sharing a grounded entry.
+        let cs = vec![
+            C::Init { x: 0 },
+            C::Inter { x: 1, sources: vec![0, 2, 4] },
+            C::Union { x: 2, elems: vec![1], sources: vec![1] },
+            C::Inter { x: 3, sources: vec![1, 4] },
+            C::Union { x: 4, elems: vec![3], sources: vec![3] },
+            C::Union { x: 5, elems: vec![], sources: vec![2, 4] },
+        ];
+        assert_agrees(&cs, 6);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_sets_is_empty() {
+        let cs = vec![
+            C::Init { x: 0 },
+            C::Init { x: 1 },
+            C::Union { x: 2, elems: vec![0], sources: vec![0] },
+            C::Union { x: 3, elems: vec![1], sources: vec![1] },
+            C::Inter { x: 4, sources: vec![2, 3] },
+        ];
+        let fast = solve_fast(&cs, 5);
+        assert_eq!(fast.lt_set(4), Vec::<usize>::new());
+        assert_agrees(&cs, 5);
+    }
+
+    #[test]
+    fn into_solution_preserves_queries() {
+        let fast = solve_fast(&example_3_4(), 11);
+        let expected: Vec<Vec<usize>> = (0..11).map(|x| fast.lt_set(x)).collect();
+        let evals = fast.stats.evals;
+        let sol = fast.into_solution();
+        for (x, want) in expected.iter().enumerate() {
+            assert_eq!(&sol.lt_set(x), want);
+        }
+        assert_eq!(sol.stats.pops, evals);
+    }
+
+    #[test]
+    fn intersect_sorted_merges() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn tarjan_orders_dependencies_first() {
+        // 0 → (nothing); 1 reads 0; 2 reads 1. deps edges point at
+        // dependencies, so emission must be [0], [1], [2].
+        let deps = vec![vec![], vec![0], vec![1]];
+        let sccs = tarjan_sccs(&deps);
+        assert_eq!(sccs, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn tarjan_groups_cycles() {
+        // 1 ⇄ 2 cycle, 3 reads the cycle, 0 independent.
+        let deps = vec![vec![], vec![2], vec![1], vec![1]];
+        let sccs = tarjan_sccs(&deps);
+        let cycle = sccs.iter().find(|c| c.len() == 2).expect("cycle component");
+        let mut cycle = cycle.clone();
+        cycle.sort_unstable();
+        assert_eq!(cycle, vec![1, 2]);
+        // The 2-cycle must be emitted before node 3 which depends on it.
+        let cycle_pos = sccs.iter().position(|c| c.len() == 2).unwrap();
+        let three_pos = sccs.iter().position(|c| c == &vec![3]).unwrap();
+        assert!(cycle_pos < three_pos);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 200_000;
+        let mut cs = vec![C::Init { x: 0 }];
+        for i in 1..n {
+            // Copies, so the closure stays small while the graph is deep.
+            cs.push(C::Copy { x: i, source: i - 1 });
+        }
+        let fast = solve_fast(&cs, n);
+        assert_eq!(fast.lt_set(n - 1), Vec::<usize>::new());
+        assert_eq!(fast.stats.evals, n as u64);
+    }
+
+    #[test]
+    fn empty_system() {
+        let sol = solve_fast(&[], 0);
+        assert_eq!(sol.stats.evals, 0);
+        assert_eq!(sol.size_histogram(), Vec::<(usize, usize)>::new());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random constraint for variable `x` over `n` variables: any
+        /// shape the generator can emit, cycles and dead code included.
+        fn constraint_for(x: usize, n: usize) -> impl Strategy<Value = Option<C>> {
+            let var = 0..n;
+            let vars = proptest::collection::vec(0..n, 1..4);
+            prop_oneof![
+                1 => Just(None), // undefined variable: stays ⊤, frozen ∅
+                2 => Just(Some(C::Init { x })),
+                2 => var.prop_map(move |s| Some(C::Copy { x, source: s })),
+                4 => (proptest::collection::vec(0..n, 0..3), vars.clone())
+                    .prop_map(move |(elems, sources)| {
+                        Some(C::Union { x, elems, sources })
+                    }),
+                3 => vars.prop_map(move |sources| Some(C::Inter { x, sources })),
+            ]
+        }
+
+        fn systems() -> impl Strategy<Value = (Vec<C>, usize)> {
+            (2usize..24).prop_flat_map(|n| {
+                (0..n)
+                    .map(|x| constraint_for(x, n))
+                    .collect::<Vec<_>>()
+                    .prop_map(move |cs| {
+                        (cs.into_iter().flatten().collect::<Vec<C>>(), n)
+                    })
+            })
+        }
+
+        proptest! {
+            /// The SCC solver computes the same greatest fixpoint as the
+            /// paper's worklist solver on arbitrary constraint systems.
+            #[test]
+            fn fast_solver_agrees_with_baseline((cs, n) in systems()) {
+                let base = solve(&cs, n);
+                let fast = solve_fast(&cs, n);
+                for x in 0..n {
+                    prop_assert_eq!(base.lt_set(x), fast.lt_set(x), "LT({})", x);
+                }
+                prop_assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops);
+            }
+
+            /// On *acyclic* systems the fast solver evaluates every
+            /// constraint exactly once — the baseline can never beat
+            /// that. (On cyclic systems the bound is empirical, not a
+            /// theorem: a lucky FIFO order can occasionally stabilise a
+            /// cycle in fewer pops than the local SCC iteration spends;
+            /// `tests/solvers.rs` checks the whole evaluation corpus.)
+            #[test]
+            fn acyclic_systems_take_one_eval_per_constraint(
+                (cs, n) in systems()
+            ) {
+                // Make the system acyclic: constraint for x may only
+                // read variables strictly below x.
+                let acyclic: Vec<C> = cs
+                    .into_iter()
+                    .map(|c| {
+                        let x = c.defined();
+                        match c {
+                            C::Init { .. } | C::Copy { .. } if x == 0 => C::Init { x },
+                            C::Init { x } => C::Init { x },
+                            C::Copy { x, source } => C::Copy { x, source: source % x.max(1) },
+                            C::Union { x, elems, sources } if x > 0 => C::Union {
+                                x,
+                                elems,
+                                sources: sources.into_iter().map(|s| s % x).collect(),
+                            },
+                            C::Inter { x, sources } if x > 0 => C::Inter {
+                                x,
+                                sources: sources.into_iter().map(|s| s % x).collect(),
+                            },
+                            other => C::Init { x: other.defined() },
+                        }
+                    })
+                    .collect();
+                let base = solve(&acyclic, n);
+                let fast = solve_fast(&acyclic, n);
+                prop_assert_eq!(fast.stats.evals, acyclic.len() as u64);
+                prop_assert!(fast.stats.evals <= base.stats.pops);
+                for x in 0..n {
+                    prop_assert_eq!(base.lt_set(x), fast.lt_set(x));
+                }
+            }
+        }
+    }
+}

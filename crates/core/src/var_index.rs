@@ -1,0 +1,83 @@
+//! A flat numbering of every value in a module.
+//!
+//! The less-than analysis is inter-procedural (paper Section 4): its
+//! constraint system spans all functions at once, with pseudo-φs binding
+//! formal to actual parameters. Constraints therefore address variables by
+//! a dense module-wide index rather than per-function [`Value`]s.
+
+use sraa_ir::{FuncId, Module, Value};
+
+/// Dense module-wide variable numbering: `id = offset(func) + value index`.
+#[derive(Clone, Debug)]
+pub struct VarIndex {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl VarIndex {
+    /// Builds the numbering for `module`.
+    pub fn new(module: &Module) -> Self {
+        let mut offsets = Vec::with_capacity(module.num_functions());
+        let mut total = 0usize;
+        for (_, f) in module.functions() {
+            offsets.push(total);
+            total += f.num_insts();
+        }
+        Self { offsets, total }
+    }
+
+    /// Total number of variable slots.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the module has no values at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The flat id of `v` in function `f`.
+    pub fn id(&self, f: FuncId, v: Value) -> usize {
+        self.offsets[f.index()] + v.index()
+    }
+
+    /// Inverse mapping: which function does flat id `id` belong to?
+    pub fn func_of(&self, id: usize) -> (FuncId, Value) {
+        let fi = match self.offsets.binary_search(&id) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (FuncId::from_index(fi), Value::from_index(id - self.offsets[fi]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraa_ir::Type;
+
+    #[test]
+    fn round_trips_ids() {
+        let mut m = Module::new();
+        let f1 = m.declare_function("a", vec![("x", Type::Int), ("y", Type::Int)], None);
+        let f2 = m.declare_function("b", vec![("z", Type::Int)], None);
+        // Touch the functions so they have a few values.
+        m.function_mut(f1).add_const(1);
+        m.function_mut(f2).add_const(2);
+        let ix = VarIndex::new(&m);
+        assert_eq!(ix.len(), 3 + 2); // 2 params + const, 1 param + const
+        for (fid, f) in m.functions() {
+            for v in f.value_ids() {
+                let id = ix.id(fid, v);
+                assert_eq!(ix.func_of(id), (fid, v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_module() {
+        let ix = VarIndex::new(&Module::new());
+        assert!(ix.is_empty());
+        assert_eq!(ix.len(), 0);
+    }
+}

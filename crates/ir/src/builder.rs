@@ -1,0 +1,285 @@
+//! A convenience layer for constructing well-formed functions.
+//!
+//! The builder tracks a *current block*, uniques integer constants, infers
+//! result types, and performs basic sanity checks at construction time so
+//! that most malformed IR never comes into existence (the
+//! [`verifier`](crate::verifier) then checks the global SSA properties).
+
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId, GlobalId, Value};
+use crate::inst::{BinOp, CopyOrigin, InstKind, Pred};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Builds instructions into a [`Function`].
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    func: &'a mut Function,
+    current: BlockId,
+    const_cache: HashMap<i64, Value>,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Starts building into `func`, positioned at its entry block.
+    pub fn new(func: &'a mut Function) -> Self {
+        let current = func.entry();
+        Self { func, current, const_cache: HashMap::new() }
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a fresh empty block (does not switch to it).
+    pub fn create_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Returns the value of the `index`-th parameter.
+    pub fn param(&self, index: usize) -> Value {
+        self.func.param_value(index)
+    }
+
+    /// Returns a (uniqued) integer constant.
+    pub fn iconst(&mut self, c: i64) -> Value {
+        if let Some(&v) = self.const_cache.get(&c) {
+            return v;
+        }
+        let v = self.func.add_const(c);
+        self.const_cache.insert(c, v);
+        v
+    }
+
+    fn append(&mut self, kind: InstKind, ty: Option<Type>) -> Value {
+        assert!(
+            self.func.terminator(self.current).is_none(),
+            "appending to terminated block {}",
+            self.current
+        );
+        self.func.append_inst(self.current, kind, ty)
+    }
+
+    /// Appends a binary operation. Pointer +/- int keeps the pointer type;
+    /// everything else is `Int`.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        let lt = self.func.value_type(lhs).expect("binary lhs must produce a value");
+        let rt = self.func.value_type(rhs).expect("binary rhs must produce a value");
+        let ty = match (op, lt, rt) {
+            (BinOp::Add | BinOp::Sub, Type::Ptr(d), Type::Int) => Type::Ptr(d),
+            (BinOp::Sub, Type::Ptr(_), Type::Ptr(_)) => Type::Int,
+            _ => Type::Int,
+        };
+        self.append(InstKind::Binary { op, lhs, rhs }, Some(ty))
+    }
+
+    /// Appends a comparison (result is `Int` 0/1).
+    pub fn cmp(&mut self, pred: Pred, lhs: Value, rhs: Value) -> Value {
+        self.append(InstKind::Cmp { pred, lhs, rhs }, Some(Type::Int))
+    }
+
+    /// Appends a φ-function with no incomings yet; fill them in later with
+    /// [`set_phi_incomings`](Self::set_phi_incomings).
+    ///
+    /// φ-functions must precede all non-φ instructions of their block; the
+    /// builder inserts them into the φ prefix automatically.
+    pub fn phi(&mut self, ty: Type) -> Value {
+        assert!(
+            self.func.terminator(self.current).is_none(),
+            "appending to terminated block {}",
+            self.current
+        );
+        let v = self.func.new_inst(InstKind::Phi { incomings: vec![] }, Some(ty));
+        let at = self.func.block(self.current).first_non_phi(self.func);
+        self.func.attach_inst(self.current, at, v);
+        v
+    }
+
+    /// Sets the incoming `(block, value)` pairs of a φ created by
+    /// [`phi`](Self::phi).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a φ-function.
+    pub fn set_phi_incomings(&mut self, phi: Value, incomings: Vec<(BlockId, Value)>) {
+        match &mut self.func.inst_mut(phi).kind {
+            InstKind::Phi { incomings: slots } => *slots = incomings,
+            other => panic!("{phi} is not a phi: {other:?}"),
+        }
+    }
+
+    /// Appends a plain copy.
+    pub fn copy(&mut self, src: Value) -> Value {
+        let ty = self.func.value_type(src);
+        self.append(InstKind::Copy { src, origin: CopyOrigin::Plain }, ty)
+    }
+
+    /// Appends a stack allocation of `count` elements of `elem_ty`.
+    pub fn alloca(&mut self, elem_ty: Type, count: Value) -> Value {
+        self.append(InstKind::Alloca { count }, Some(elem_ty.ptr_to()))
+    }
+
+    /// Appends a heap allocation of `count` elements of `elem_ty`.
+    pub fn malloc(&mut self, elem_ty: Type, count: Value) -> Value {
+        self.append(InstKind::Malloc { count }, Some(elem_ty.ptr_to()))
+    }
+
+    /// Appends the address of a global. The caller supplies the global's
+    /// element type (the module holds the authoritative layout).
+    pub fn global_addr(&mut self, g: GlobalId, elem_ty: Type) -> Value {
+        self.append(InstKind::GlobalAddr(g), Some(elem_ty.ptr_to()))
+    }
+
+    /// Appends pointer arithmetic `base + offset` (element-indexed).
+    pub fn gep(&mut self, base: Value, offset: Value) -> Value {
+        let ty = self.func.value_type(base).expect("gep base must produce a value");
+        assert!(ty.is_ptr(), "gep base must be a pointer, got {ty}");
+        self.append(InstKind::Gep { base, offset }, Some(ty))
+    }
+
+    /// Appends a load through `ptr`.
+    pub fn load(&mut self, ptr: Value) -> Value {
+        let ty = self.func.value_type(ptr).expect("load ptr must produce a value");
+        let pointee = ty.pointee().expect("load requires a pointer operand");
+        self.append(InstKind::Load { ptr }, Some(pointee))
+    }
+
+    /// Appends a store of `value` through `ptr`.
+    pub fn store(&mut self, ptr: Value, value: Value) {
+        self.append(InstKind::Store { ptr, value }, None);
+    }
+
+    /// Appends a direct call. `ret_ty` must match the callee's return type
+    /// (the verifier checks this against the module).
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret_ty: Option<Type>) -> Value {
+        self.append(InstKind::Call { callee, args }, ret_ty)
+    }
+
+    /// Appends an opaque value of type `ty` (models external input).
+    pub fn opaque(&mut self, ty: Type) -> Value {
+        self.append(InstKind::Opaque, Some(ty))
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.append(InstKind::Br { cond, then_bb, else_bb }, None);
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.append(InstKind::Jump(target), None);
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Value>) {
+        self.append(InstKind::Ret(value), None);
+    }
+
+    /// Finishes building. Asserts every block is terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block lacks a terminator.
+    pub fn finish(self) {
+        for b in self.func.block_ids() {
+            assert!(
+                self.func.terminator(b).is_some(),
+                "block {b} of {} lacks a terminator",
+                self.func.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_uniqued() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let a = b.iconst(7);
+        let c = b.iconst(7);
+        let d = b.iconst(8);
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+        b.ret(None);
+        b.finish();
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let mut f = Function::new("t", vec![("p", Type::Ptr(2))], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let p = b.param(0);
+        let one = b.iconst(1);
+        let q = b.gep(p, one);
+        assert_eq!(f_ty(&b, q), Type::Ptr(2));
+        let l = b.load(q);
+        assert_eq!(f_ty(&b, l), Type::Ptr(1));
+        let l2 = b.load(l);
+        assert_eq!(f_ty(&b, l2), Type::Int);
+        b.ret(None);
+        b.finish();
+    }
+
+    fn f_ty(b: &FunctionBuilder<'_>, v: Value) -> Type {
+        b.func.value_type(v).unwrap()
+    }
+
+    #[test]
+    fn binary_ptr_minus_ptr_is_int() {
+        let mut f = Function::new("t", vec![("p", Type::Ptr(1)), ("q", Type::Ptr(1))], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let p = b.param(0);
+        let q = b.param(1);
+        let d = b.binary(BinOp::Sub, p, q);
+        assert_eq!(f_ty(&b, d), Type::Int);
+        let off = b.binary(BinOp::Add, p, d);
+        assert_eq!(f_ty(&b, off), Type::Ptr(1));
+        b.ret(None);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn appending_after_terminator_panics() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        b.ret(None);
+        b.opaque(Type::Int);
+    }
+
+    #[test]
+    fn phis_stay_in_prefix() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let bb = b.create_block();
+        b.jump(bb);
+        b.switch_to(bb);
+        let c = b.iconst(3); // lands in entry block prefix
+        let p1 = b.phi(Type::Int);
+        let _x = b.copy(p1);
+        let p2 = b.phi(Type::Int); // created after a non-phi: must float up
+        b.ret(None);
+        b.set_phi_incomings(p1, vec![(f_entry(&b), c)]);
+        b.set_phi_incomings(p2, vec![(f_entry(&b), c)]);
+        b.finish();
+        let bb_insts = &f.block(bb).insts;
+        assert!(f.inst(bb_insts[0]).kind.is_phi());
+        assert!(f.inst(bb_insts[1]).kind.is_phi());
+        assert!(!f.inst(bb_insts[2]).kind.is_phi());
+    }
+
+    fn f_entry(b: &FunctionBuilder<'_>) -> BlockId {
+        b.func.entry()
+    }
+}

@@ -1,0 +1,176 @@
+//! Control-flow graph: predecessor lists and block orderings.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Predecessor/successor information plus traversal orders for a function.
+///
+/// The CFG is a snapshot: recompute it after structural edits (such as the
+/// edge splits performed by the e-SSA transform).
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    postorder: Vec<BlockId>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.successors(b) {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+
+        // Iterative post-order DFS from the entry.
+        let mut postorder = Vec::with_capacity(n);
+        let mut reachable = vec![false; n];
+        let mut visited = vec![false; n];
+        let entry = func.entry();
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        reachable[entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    reachable[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+
+        Self { preds, succs, postorder, reachable }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in post-order (entry last). Unreachable blocks are absent.
+    pub fn postorder(&self) -> &[BlockId] {
+        &self.postorder
+    }
+
+    /// Blocks in reverse post-order (entry first). Unreachable blocks are
+    /// absent.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        self.postorder.iter().rev().copied().collect()
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+    use crate::types::Type;
+
+    /// Diamond: entry → {l, r} → join.
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut f = Function::new("d", vec![("x", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let entry = b.current_block();
+        let l = b.create_block();
+        let r = b.create_block();
+        let join = b.create_block();
+        let x = b.param(0);
+        let z = b.iconst(0);
+        let c = b.cmp(Pred::Lt, x, z);
+        b.br(c, l, r);
+        b.switch_to(l);
+        b.jump(join);
+        b.switch_to(r);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish();
+        (f, [entry, l, r, join])
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let (f, [entry, l, r, join]) = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(entry), &[l, r]);
+        assert_eq!(cfg.preds(join), &[l, r]);
+        assert_eq!(cfg.preds(entry), &[] as &[BlockId]);
+        assert_eq!(cfg.succs(join), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let (f, [entry, l, r, join]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], entry);
+        assert_eq!(*rpo.last().unwrap(), join);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(entry) < pos(l));
+        assert!(pos(entry) < pos(r));
+        assert!(pos(l) < pos(join));
+        assert!(pos(r) < pos(join));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut f = Function::new("u", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let dead = b.create_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.is_reachable(f.entry()));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.postorder().len(), 1);
+    }
+
+    #[test]
+    fn loop_postorder_terminates() {
+        // entry → header ⇄ body, header → exit
+        let mut f = Function::new("l", vec![("n", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let n = b.param(0);
+        let z = b.iconst(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.cmp(Pred::Lt, z, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.postorder().len(), 4);
+        assert_eq!(cfg.preds(header).len(), 2);
+    }
+}

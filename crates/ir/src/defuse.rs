@@ -1,0 +1,111 @@
+//! Def-use chains.
+
+use crate::function::Function;
+use crate::ids::{BlockId, Value};
+
+/// One use of a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Use {
+    /// The instruction containing the use.
+    pub user: Value,
+    /// For φ uses, the incoming edge's predecessor block; `None` for
+    /// ordinary operand uses. φ uses semantically occur at the end of this
+    /// predecessor, which matters for liveness and renaming.
+    pub pred: Option<BlockId>,
+}
+
+/// Def-use chains for every value of a function. A snapshot; recompute
+/// after edits.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    uses: Vec<Vec<Use>>,
+}
+
+impl DefUse {
+    /// Computes def-use chains for all attached instructions of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut uses: Vec<Vec<Use>> = vec![Vec::new(); func.num_insts()];
+        for b in func.block_ids() {
+            for (user, data) in func.block_insts(b) {
+                match &data.kind {
+                    crate::inst::InstKind::Phi { incomings } => {
+                        for (pred, v) in incomings {
+                            uses[v.index()].push(Use { user, pred: Some(*pred) });
+                        }
+                    }
+                    kind => kind.for_each_operand(|v| {
+                        uses[v.index()].push(Use { user, pred: None });
+                    }),
+                }
+            }
+        }
+        Self { uses }
+    }
+
+    /// The uses of `v`.
+    pub fn uses(&self, v: Value) -> &[Use] {
+        &self.uses[v.index()]
+    }
+
+    /// Whether `v` has no uses.
+    pub fn is_dead(&self, v: Value) -> bool {
+        self.uses[v.index()].is_empty()
+    }
+
+    /// Number of uses of `v`.
+    pub fn num_uses(&self, v: Value) -> usize {
+        self.uses[v.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Pred};
+    use crate::types::Type;
+
+    #[test]
+    fn counts_ordinary_and_phi_uses() {
+        let mut f = Function::new("t", vec![("n", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let entry = b.current_block();
+        let loop_bb = b.create_block();
+        let exit = b.create_block();
+        let n = b.param(0);
+        let one = b.iconst(1);
+        b.jump(loop_bb);
+        b.switch_to(loop_bb);
+        let i = b.phi(Type::Int);
+        let i2 = b.binary(BinOp::Add, i, one);
+        let c = b.cmp(Pred::Lt, i2, n);
+        b.br(c, loop_bb, exit);
+        b.set_phi_incomings(i, vec![(entry, one), (loop_bb, i2)]);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+
+        let du = DefUse::compute(&f);
+        // `one` is used by the add and by the phi (via edge from entry).
+        assert_eq!(du.num_uses(one), 2);
+        assert!(du.uses(one).iter().any(|u| u.pred == Some(entry)));
+        // `i2` is used by the cmp and the phi back edge.
+        assert_eq!(du.num_uses(i2), 2);
+        assert!(du.uses(i2).iter().any(|u| u.pred == Some(loop_bb)));
+        // `c` is used by the branch only.
+        assert_eq!(du.num_uses(c), 1);
+        assert!(du.uses(c)[0].pred.is_none());
+        assert!(!du.is_dead(i));
+    }
+
+    #[test]
+    fn dead_values_have_no_uses() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.opaque(Type::Int);
+        b.ret(None);
+        b.finish();
+        let du = DefUse::compute(&f);
+        assert!(du.is_dead(x));
+    }
+}

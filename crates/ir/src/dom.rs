@@ -1,0 +1,595 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy algorithm.
+//!
+//! "A Simple, Fast Dominance Algorithm" (SPE 2001): iterate `idom` over the
+//! reverse post-order until fixpoint, intersecting paths in the tree built
+//! so far. On top of the tree we answer `dominates` queries in O(1) with an
+//! Euler interval numbering, provide dominator-tree children (used by the
+//! e-SSA renaming walk of the paper's live-range splitting), and compute
+//! dominance frontiers.
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::{BlockId, Value};
+
+/// Dominator tree of a function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Dominator-tree children per block.
+    children: Vec<Vec<BlockId>>,
+    /// Euler interval per block: `in_num[b] ..= out_num[b]`.
+    in_num: Vec<u32>,
+    out_num: Vec<u32>,
+    /// Reverse post-order index per block (entry = 0).
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func` given its `cfg`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.num_blocks();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index: Vec<Option<u32>> = vec![None; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+
+        let entry = func.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            let ridx = |x: BlockId| rpo_index[x.index()].expect("reachable");
+            while a != b {
+                while ridx(a) > ridx(b) {
+                    a = idom[a.index()].expect("processed");
+                }
+                while ridx(b) > ridx(a) {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Children lists.
+        let mut children = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            if b == entry {
+                continue;
+            }
+            if let Some(d) = idom[b.index()] {
+                children[d.index()].push(b);
+            }
+        }
+
+        // Euler numbering (iterative DFS over the dominator tree).
+        let mut in_num = vec![0u32; n];
+        let mut out_num = vec![0u32; n];
+        let mut counter = 0u32;
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        in_num[entry.index()] = counter;
+        counter += 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < children[b.index()].len() {
+                let c = children[b.index()][*next];
+                *next += 1;
+                in_num[c.index()] = counter;
+                counter += 1;
+                stack.push((c, 0));
+            } else {
+                out_num[b.index()] = counter;
+                counter += 1;
+                stack.pop();
+            }
+        }
+
+        Self { idom, children, in_num, out_num, rpo_index }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.index()]?;
+        (d != b).then_some(d)
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() || self.idom[b.index()].is_none() {
+            return false;
+        }
+        self.in_num[a.index()] <= self.in_num[b.index()]
+            && self.out_num[b.index()] <= self.out_num[a.index()]
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Dominator-tree children of `b`.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// Reverse post-order index of `b` (entry = 0), `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Whether the definition of value `def` dominates the program point
+    /// just *before* instruction `user` in block `user_block`.
+    ///
+    /// `positions` must come from [`Function::positions`]. φ uses must be
+    /// checked at the incoming edge by the caller (pass the predecessor's
+    /// terminator as `user`).
+    pub fn def_dominates_use(
+        &self,
+        func: &Function,
+        positions: &[u32],
+        def: Value,
+        user: Value,
+    ) -> bool {
+        let db = match func.inst(def).block {
+            Some(b) => b,
+            None => return false,
+        };
+        let ub = match func.inst(user).block {
+            Some(b) => b,
+            None => return false,
+        };
+        if db != ub {
+            return self.dominates(db, ub);
+        }
+        positions[def.index()] < positions[user.index()]
+    }
+
+    /// Computes the dominance frontier of every block.
+    pub fn dominance_frontier(&self, func: &Function, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = func.num_blocks();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            let preds = cfg.preds(b);
+            if preds.len() < 2 {
+                continue;
+            }
+            let Some(idom_b) = self.idom[b.index()] else { continue };
+            for &p in preds {
+                if self.idom[p.index()].is_none() {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b && self.idom[runner.index()].is_some() {
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    match self.idom[runner.index()] {
+                        Some(d) if d != runner => runner = d,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+    use crate::types::Type;
+
+    fn diamond_with_loop() -> (Function, Vec<BlockId>) {
+        // entry → header; header → {body, exit}; body → {l, r}; l,r → latch;
+        // latch → header
+        let mut f = Function::new("g", vec![("n", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let entry = b.current_block();
+        let header = b.create_block();
+        let body = b.create_block();
+        let l = b.create_block();
+        let r = b.create_block();
+        let latch = b.create_block();
+        let exit = b.create_block();
+        let n = b.param(0);
+        let z = b.iconst(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.cmp(Pred::Lt, z, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let c2 = b.cmp(Pred::Lt, n, z);
+        b.br(c2, l, r);
+        b.switch_to(l);
+        b.jump(latch);
+        b.switch_to(r);
+        b.jump(latch);
+        b.switch_to(latch);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        (f, vec![entry, header, body, l, r, latch, exit])
+    }
+
+    #[test]
+    fn idoms_of_nested_diamond() {
+        let (f, bs) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let [entry, header, body, l, r, latch, exit] = bs[..] else { unreachable!() };
+        assert_eq!(dt.idom(entry), None);
+        assert_eq!(dt.idom(header), Some(entry));
+        assert_eq!(dt.idom(body), Some(header));
+        assert_eq!(dt.idom(l), Some(body));
+        assert_eq!(dt.idom(r), Some(body));
+        assert_eq!(dt.idom(latch), Some(body));
+        assert_eq!(dt.idom(exit), Some(header));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, bs) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        for &b in &bs {
+            assert!(dt.dominates(b, b));
+            assert!(!dt.strictly_dominates(b, b));
+        }
+        let [entry, header, body, l, _, latch, exit] = bs[..] else { unreachable!() };
+        assert!(dt.dominates(entry, exit));
+        assert!(dt.dominates(header, latch));
+        assert!(dt.strictly_dominates(body, l));
+        assert!(!dt.dominates(l, latch), "l does not dominate the join");
+        assert!(!dt.dominates(exit, header));
+    }
+
+    #[test]
+    fn dominance_frontier_of_branch_arms_is_join() {
+        let (f, bs) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let df = dt.dominance_frontier(&f, &cfg);
+        let [_, header, body, l, r, latch, _] = bs[..] else { unreachable!() };
+        assert_eq!(df[l.index()], vec![latch]);
+        assert_eq!(df[r.index()], vec![latch]);
+        // The loop body's frontier is the header (back edge target).
+        assert!(df[latch.index()].contains(&header));
+        assert!(df[body.index()].contains(&header));
+    }
+
+    #[test]
+    fn def_use_dominance_within_block() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.opaque(Type::Int);
+        let y = b.copy(x);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let pos = f.positions();
+        assert!(dt.def_dominates_use(&f, &pos, x, y));
+        assert!(!dt.def_dominates_use(&f, &pos, y, x));
+    }
+
+    #[test]
+    fn unreachable_blocks_do_not_dominate() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let dead = b.create_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert!(!dt.dominates(dead, f.entry()));
+        assert!(!dt.dominates(f.entry(), dead));
+        assert!(!dt.dominates(dead, dead));
+    }
+}
+
+/// Post-dominator tree, computed on the reversed CFG with a virtual exit
+/// node joining every `ret` block.
+///
+/// Used for control dependence (Ferrante et al.'s PDG, which the paper's
+/// applicability study builds): a block `b` is control-dependent on a
+/// branch block `a` iff `b` post-dominates some successor of `a` but does
+/// not strictly post-dominate `a` — equivalently, `a` is in the
+/// post-dominance frontier of `b`.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    /// Immediate post-dominator per block; the virtual exit is implicit.
+    /// `None` for blocks that cannot reach any exit (infinite loops) and
+    /// for blocks whose ipdom is the virtual exit itself.
+    ipdom: Vec<Option<BlockId>>,
+    /// Blocks that reach an exit (participate in the tree).
+    reaches_exit: Vec<bool>,
+}
+
+impl PostDomTree {
+    /// Computes post-dominators for `func` with its `cfg`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.num_blocks();
+        // Exits: blocks whose terminator is a return.
+        let exits: Vec<BlockId> = func
+            .block_ids()
+            .filter(|&b| {
+                func.terminator(b)
+                    .is_some_and(|t| matches!(func.inst(t).kind, crate::inst::InstKind::Ret(_)))
+            })
+            .collect();
+
+        // Reverse post-order of the *reversed* graph from the virtual
+        // exit: iterative DFS over predecessors.
+        let virtual_exit = n; // index n = virtual exit
+        let mut order: Vec<usize> = Vec::with_capacity(n + 1); // postorder
+        let mut visited = vec![false; n + 1];
+        let mut stack: Vec<(usize, usize)> = vec![(virtual_exit, 0)];
+        visited[virtual_exit] = true;
+        let rev_succs = |b: usize| -> Vec<usize> {
+            if b == virtual_exit {
+                exits.iter().map(|e| e.index()).collect()
+            } else {
+                cfg.preds(BlockId::from_index(b)).iter().map(|p| p.index()).collect()
+            }
+        };
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = rev_succs(b);
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = order.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        // Cooper–Harvey–Kennedy over the reversed graph.
+        let mut ipdom: Vec<Option<usize>> = vec![None; n + 1];
+        ipdom[virtual_exit] = Some(virtual_exit);
+        let intersect = |ipdom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = ipdom[a].expect("processed");
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = ipdom[b].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // "Predecessors" in the reversed graph = successors in
+                // the original (plus the virtual exit for ret blocks).
+                let mut preds: Vec<usize> =
+                    cfg.succs(BlockId::from_index(b)).iter().map(|s| s.index()).collect();
+                if exits.iter().any(|e| e.index() == b) {
+                    preds.push(virtual_exit);
+                }
+                let mut new: Option<usize> = None;
+                for p in preds {
+                    if ipdom[p].is_none() {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => p,
+                        Some(cur) => intersect(&ipdom, cur, p),
+                    });
+                }
+                if new.is_some() && ipdom[b] != new {
+                    ipdom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        PostDomTree {
+            ipdom: (0..n)
+                .map(|b| match ipdom[b] {
+                    Some(d) if d < n => Some(BlockId::from_index(d)),
+                    _ => None,
+                })
+                .collect(),
+            reaches_exit: (0..n).map(|b| ipdom[b].is_some()).collect(),
+        }
+    }
+
+    /// Immediate post-dominator (`None` when it is the virtual exit or the
+    /// block never reaches an exit).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.reaches_exit[b.index()] || !self.reaches_exit[a.index()] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Ferrante-style control dependence: for every block, the branch
+    /// blocks it is control-dependent on.
+    pub fn control_dependence(&self, func: &Function, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = func.num_blocks();
+        let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for a in func.block_ids() {
+            let succs = cfg.succs(a);
+            if succs.len() < 2 {
+                continue;
+            }
+            for &s in succs {
+                // Walk the post-dominator tree from s up to (but not
+                // including) ipdom(a): every block on the way is
+                // control-dependent on a.
+                let stop = self.ipdom(a);
+                let mut cur = Some(s);
+                while let Some(b) = cur {
+                    if Some(b) == stop || !self.reaches_exit[b.index()] {
+                        break;
+                    }
+                    if b == a {
+                        // Loops: a depends on itself; record and stop.
+                        if !deps[b.index()].contains(&a) {
+                            deps[b.index()].push(a);
+                        }
+                        break;
+                    }
+                    if !deps[b.index()].contains(&a) {
+                        deps[b.index()].push(a);
+                    }
+                    cur = self.ipdom(b);
+                }
+            }
+        }
+        deps
+    }
+}
+
+#[cfg(test)]
+mod postdom_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+    use crate::types::Type;
+
+    /// entry → {then, else} → join → exit(ret)
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut f = Function::new("d", vec![("x", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let entry = b.current_block();
+        let t = b.create_block();
+        let e = b.create_block();
+        let join = b.create_block();
+        let x = b.param(0);
+        let z = b.iconst(0);
+        let c = b.cmp(Pred::Lt, x, z);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jump(join);
+        b.switch_to(e);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish();
+        (f, [entry, t, e, join])
+    }
+
+    #[test]
+    fn join_postdominates_the_branch() {
+        let (f, [entry, t, e, join]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let pdt = PostDomTree::compute(&f, &cfg);
+        assert!(pdt.post_dominates(join, entry));
+        assert!(pdt.post_dominates(join, t));
+        assert!(!pdt.post_dominates(t, entry), "only one arm does not post-dominate");
+        assert_eq!(pdt.ipdom(t), Some(join));
+        assert_eq!(pdt.ipdom(e), Some(join));
+        assert_eq!(pdt.ipdom(entry), Some(join));
+    }
+
+    #[test]
+    fn branch_arms_are_control_dependent_on_the_branch() {
+        let (f, [entry, t, e, join]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let pdt = PostDomTree::compute(&f, &cfg);
+        let cd = pdt.control_dependence(&f, &cfg);
+        assert_eq!(cd[t.index()], vec![entry]);
+        assert_eq!(cd[e.index()], vec![entry]);
+        assert!(cd[join.index()].is_empty(), "the join is executed unconditionally");
+        assert!(cd[entry.index()].is_empty());
+    }
+
+    #[test]
+    fn loop_body_is_control_dependent_on_the_header() {
+        // entry → header; header → {body, exit}; body → header
+        let mut f = Function::new("l", vec![("n", Type::Int)], None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let n = b.param(0);
+        let z = b.iconst(0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.cmp(Pred::Lt, z, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        let pdt = PostDomTree::compute(&f, &cfg);
+        let cd = pdt.control_dependence(&f, &cfg);
+        assert_eq!(cd[body.index()], vec![header]);
+        // The header controls its own re-execution (loop).
+        assert_eq!(cd[header.index()], vec![header]);
+        assert!(pdt.post_dominates(exit, header));
+    }
+
+    #[test]
+    fn infinite_loop_blocks_have_no_postdominator() {
+        let mut f = Function::new("w", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let spin = b.create_block();
+        b.jump(spin);
+        b.switch_to(spin);
+        b.jump(spin);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        let pdt = PostDomTree::compute(&f, &cfg);
+        assert_eq!(pdt.ipdom(spin), None);
+        assert!(!pdt.post_dominates(spin, f.entry()));
+    }
+}

@@ -1,0 +1,166 @@
+//! Entity identifiers for the IR.
+//!
+//! All IR entities live in dense arenas and are referred to by `u32`-backed
+//! index newtypes. Using newtypes instead of raw indices keeps the distinct
+//! index spaces (values, blocks, functions, globals) from being confused at
+//! compile time, per the `C-NEWTYPE` API guideline.
+
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense arena index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// Returns the dense arena index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id! {
+    /// Identifies an instruction in a [`Function`](crate::Function).
+    ///
+    /// In this IR every instruction — value-producing or not — has a
+    /// `Value` id; instructions such as `store` or terminators simply have
+    /// no result type. This mirrors LLVM where `Instruction` is a `Value`.
+    Value, "%v"
+}
+
+entity_id! {
+    /// Identifies a basic block in a [`Function`](crate::Function).
+    BlockId, "bb"
+}
+
+entity_id! {
+    /// Identifies a function in a [`Module`](crate::Module).
+    FuncId, "@f"
+}
+
+entity_id! {
+    /// Identifies a global variable in a [`Module`](crate::Module).
+    GlobalId, "@g"
+}
+
+/// A dense map from an entity id to `T`, backed by a `Vec`.
+///
+/// Used instead of hash maps throughout the analyses: entity ids are dense
+/// arena indices, so a `Vec` is both faster and simpler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntityMap<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Default> EntityMap<T> {
+    /// Creates a map with `len` default-initialised entries.
+    pub fn with_len(len: usize) -> Self {
+        Self { items: vec![T::default(); len] }
+    }
+}
+
+impl<T> EntityMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends an entry, returning its index.
+    pub fn push(&mut self, item: T) -> usize {
+        self.items.push(item);
+        self.items.len() - 1
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+}
+
+impl<T> Default for EntityMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for EntityMap<T> {
+    type Output = T;
+    fn index(&self, index: usize) -> &T {
+        &self.items[index]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for EntityMap<T> {
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        &mut self.items[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let v = Value::from_index(42);
+        assert_eq!(v.index(), 42);
+        let b = BlockId::from_index(0);
+        assert_eq!(b.index(), 0);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(Value::from_index(3).to_string(), "%v3");
+        assert_eq!(BlockId::from_index(7).to_string(), "bb7");
+        assert_eq!(FuncId::from_index(1).to_string(), "@f1");
+        assert_eq!(GlobalId::from_index(0).to_string(), "@g0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(Value::from_index(1) < Value::from_index(2));
+    }
+
+    #[test]
+    fn entity_map_push_and_index() {
+        let mut m = EntityMap::new();
+        let i = m.push("a");
+        let j = m.push("b");
+        assert_eq!(m[i], "a");
+        assert_eq!(m[j], "b");
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,482 @@
+//! Instructions of the IR.
+//!
+//! The instruction set is a distilled LLVM: arithmetic, comparisons, φ,
+//! copies (used by the e-SSA transform of the paper's Figure 5), allocation
+//! sites, GEP-style pointer arithmetic, loads/stores, direct calls and the
+//! three terminators. Constants and parameters are modelled as instructions
+//! pinned to the entry block so that *every* value has a defining
+//! instruction, which keeps the dominance-based reasoning of the analyses
+//! uniform.
+
+use crate::ids::{BlockId, FuncId, GlobalId, Value};
+use crate::types::Type;
+use std::fmt;
+
+/// Binary integer operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on zero divisor in the interpreter).
+    Div,
+    /// Signed remainder (traps on zero divisor in the interpreter).
+    Rem,
+}
+
+impl BinOp {
+    /// Mnemonic used by the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+        }
+    }
+}
+
+/// Signed comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `<` strictly less than.
+    Lt,
+    /// `<=` less than or equal.
+    Le,
+    /// `>` strictly greater than.
+    Gt,
+    /// `>=` greater than or equal.
+    Ge,
+    /// `==` equal.
+    Eq,
+    /// `!=` not equal.
+    Ne,
+}
+
+impl Pred {
+    /// Mnemonic used by the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Pred::Lt => "lt",
+            Pred::Le => "le",
+            Pred::Gt => "gt",
+            Pred::Ge => "ge",
+            Pred::Eq => "eq",
+            Pred::Ne => "ne",
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> Pred {
+        match self {
+            Pred::Lt => Pred::Gt,
+            Pred::Le => Pred::Ge,
+            Pred::Gt => Pred::Lt,
+            Pred::Ge => Pred::Le,
+            Pred::Eq => Pred::Eq,
+            Pred::Ne => Pred::Ne,
+        }
+    }
+
+    /// The logical negation (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> Pred {
+        match self {
+            Pred::Lt => Pred::Ge,
+            Pred::Le => Pred::Gt,
+            Pred::Gt => Pred::Le,
+            Pred::Ge => Pred::Lt,
+            Pred::Eq => Pred::Ne,
+            Pred::Ne => Pred::Eq,
+        }
+    }
+
+    /// Evaluates the predicate on concrete values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Pred::Lt => a < b,
+            Pred::Le => a <= b,
+            Pred::Gt => a > b,
+            Pred::Ge => a >= b,
+            Pred::Eq => a == b,
+            Pred::Ne => a != b,
+        }
+    }
+}
+
+/// Why an [`InstKind::Copy`] exists.
+///
+/// The e-SSA transform (paper Figure 5) splits live ranges by inserting
+/// copies; constraint generation (paper Figure 7) needs to know which
+/// syntactic situation created each copy to pick the right rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CopyOrigin {
+    /// An ordinary copy with no analysis significance.
+    Plain,
+    /// σ-copy on the *true* edge of the branch guarded by comparison `cmp`.
+    SigmaTrue {
+        /// The comparison instruction guarding the branch.
+        cmp: Value,
+    },
+    /// σ-copy on the *false* edge of the branch guarded by comparison `cmp`.
+    SigmaFalse {
+        /// The comparison instruction guarding the branch.
+        cmp: Value,
+    },
+    /// Live-range split of the subtrahend-side operand of a subtraction:
+    /// for `x1 = x2 - n` (`n > 0`) the transform emits `x3 = x2` in
+    /// parallel, and rule 3 of Figure 7 gives `LT(x3) = {x1} ∪ LT(x2)`.
+    SubSplit {
+        /// The subtraction (or negative-increment gep) instruction `x1`.
+        sub: Value,
+    },
+}
+
+/// An instruction. See the module docs for the design rationale.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// Integer constant.
+    Const(i64),
+    /// The `index`-th formal parameter of the enclosing function.
+    Param(u32),
+    /// Binary arithmetic on integers or pointer differences.
+    Binary {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Signed comparison producing 0 or 1.
+    Cmp {
+        /// Predicate.
+        pred: Pred,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// φ-function. One incoming value per predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs.
+        incomings: Vec<(BlockId, Value)>,
+    },
+    /// Copy of `src`, inserted by live-range splitting (or the frontend).
+    Copy {
+        /// The copied value.
+        src: Value,
+        /// Provenance of the copy (σ / subtraction split / plain).
+        origin: CopyOrigin,
+    },
+    /// Stack allocation of `count` scalar slots; a distinct allocation site.
+    Alloca {
+        /// Number of scalar elements allocated.
+        count: Value,
+    },
+    /// Heap allocation of `count` scalar slots; a distinct allocation site.
+    Malloc {
+        /// Number of scalar elements allocated.
+        count: Value,
+    },
+    /// Address of a module global; a distinct allocation site.
+    GlobalAddr(GlobalId),
+    /// Pointer arithmetic: `base + offset * Type::SIZE` (element-indexed,
+    /// like an LLVM `getelementptr` over a scalar array).
+    Gep {
+        /// Base pointer.
+        base: Value,
+        /// Element offset (signed).
+        offset: Value,
+    },
+    /// Loads the scalar at `ptr`.
+    Load {
+        /// Address operand.
+        ptr: Value,
+    },
+    /// Stores `value` to `ptr`. Produces no result.
+    Store {
+        /// Address operand.
+        ptr: Value,
+        /// Stored value.
+        value: Value,
+    },
+    /// Direct call. Produces a result iff the callee returns a value.
+    Call {
+        /// Callee.
+        callee: FuncId,
+        /// Actual arguments.
+        args: Vec<Value>,
+    },
+    /// An opaque value of the instruction's type (models external input).
+    Opaque,
+    /// Conditional branch on a non-zero condition. Terminator.
+    Br {
+        /// Condition value (non-zero means taken).
+        cond: Value,
+        /// Successor when the condition is non-zero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Unconditional branch. Terminator.
+    Jump(BlockId),
+    /// Function return. Terminator.
+    Ret(Option<Value>),
+}
+
+impl InstKind {
+    /// `true` for the three terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, InstKind::Br { .. } | InstKind::Jump(_) | InstKind::Ret(_))
+    }
+
+    /// `true` for φ-functions.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstKind::Phi { .. })
+    }
+
+    /// `true` for instructions that open a new allocation site
+    /// (alloca / malloc / global address).
+    pub fn is_allocation_site(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Alloca { .. } | InstKind::Malloc { .. } | InstKind::GlobalAddr(_)
+        )
+    }
+
+    /// Calls `f` on every value operand (φ incomings included).
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match self {
+            InstKind::Const(_)
+            | InstKind::Param(_)
+            | InstKind::GlobalAddr(_)
+            | InstKind::Opaque
+            | InstKind::Jump(_) => {}
+            InstKind::Binary { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Phi { incomings } => {
+                for (_, v) in incomings {
+                    f(*v);
+                }
+            }
+            InstKind::Copy { src, .. } => f(*src),
+            InstKind::Alloca { count } | InstKind::Malloc { count } => f(*count),
+            InstKind::Gep { base, offset } => {
+                f(*base);
+                f(*offset);
+            }
+            InstKind::Load { ptr } => f(*ptr),
+            InstKind::Store { ptr, value } => {
+                f(*ptr);
+                f(*value);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Br { cond, .. } => f(*cond),
+            InstKind::Ret(v) => {
+                if let Some(v) = v {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` on a mutable reference to every *non-φ* value operand.
+    ///
+    /// φ operands are excluded because their uses semantically occur on the
+    /// incoming edge, not inside the block holding the φ; rewrites of φ
+    /// operands must go through
+    /// [`for_each_phi_operand_mut`](Self::for_each_phi_operand_mut) so the
+    /// caller is forced to make that distinction (the e-SSA renaming of the
+    /// paper depends on it).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Value)) {
+        match self {
+            InstKind::Const(_)
+            | InstKind::Param(_)
+            | InstKind::GlobalAddr(_)
+            | InstKind::Opaque
+            | InstKind::Jump(_)
+            | InstKind::Phi { .. } => {}
+            InstKind::Binary { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Copy { src, .. } => f(src),
+            InstKind::Alloca { count } | InstKind::Malloc { count } => f(count),
+            InstKind::Gep { base, offset } => {
+                f(base);
+                f(offset);
+            }
+            InstKind::Load { ptr } => f(ptr),
+            InstKind::Store { ptr, value } => {
+                f(ptr);
+                f(value);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            InstKind::Br { cond, .. } => f(cond),
+            InstKind::Ret(v) => {
+                if let Some(v) = v {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` with `(incoming block, value slot)` for each φ operand.
+    pub fn for_each_phi_operand_mut(&mut self, mut f: impl FnMut(&mut BlockId, &mut Value)) {
+        if let InstKind::Phi { incomings } = self {
+            for (b, v) in incomings {
+                f(b, v);
+            }
+        }
+    }
+
+    /// Successor blocks if this is a terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            InstKind::Br { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            InstKind::Jump(b) => vec![*b],
+            _ => vec![],
+        }
+    }
+
+    /// Rewrites terminator successor `from` to `to` (all occurrences).
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            InstKind::Br { then_bb, else_bb, .. } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            InstKind::Jump(b)
+                if *b == from => {
+                    *b = to;
+                }
+            _ => {}
+        }
+    }
+}
+
+/// An instruction together with its result type and placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstData {
+    /// What the instruction does.
+    pub kind: InstKind,
+    /// Result type; `None` for stores and terminators.
+    pub ty: Option<Type>,
+    /// The block currently holding the instruction, if attached.
+    pub block: Option<BlockId>,
+}
+
+impl InstData {
+    /// Creates detached instruction data.
+    pub fn new(kind: InstKind, ty: Option<Type>) -> Self {
+        Self { kind, ty, block: None }
+    }
+
+    /// `true` if the instruction produces a result value.
+    pub fn has_result(&self) -> bool {
+        self.ty.is_some()
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Value {
+        Value::from_index(i)
+    }
+
+    #[test]
+    fn pred_negation_is_involutive() {
+        for p in [Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne] {
+            assert_eq!(p.negated().negated(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+
+    #[test]
+    fn pred_eval_agrees_with_negation() {
+        for p in [Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge, Pred::Eq, Pred::Ne] {
+            for a in -2..=2i64 {
+                for b in -2..=2i64 {
+                    assert_eq!(p.eval(a, b), !p.negated().eval(a, b));
+                    assert_eq!(p.eval(a, b), p.swapped().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operands_cover_phi_incomings() {
+        let k = InstKind::Phi {
+            incomings: vec![(BlockId::from_index(0), v(1)), (BlockId::from_index(1), v(2))],
+        };
+        let mut seen = vec![];
+        k.for_each_operand(|x| seen.push(x));
+        assert_eq!(seen, vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn operand_mut_skips_phis() {
+        let mut k = InstKind::Phi { incomings: vec![(BlockId::from_index(0), v(1))] };
+        let mut n = 0;
+        k.for_each_operand_mut(|_| n += 1);
+        assert_eq!(n, 0, "phi operands must only be rewritten via the phi-specific hook");
+        let mut m = 0;
+        k.for_each_phi_operand_mut(|_, _| m += 1);
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let br = InstKind::Br {
+            cond: v(0),
+            then_bb: BlockId::from_index(1),
+            else_bb: BlockId::from_index(2),
+        };
+        assert_eq!(br.successors().len(), 2);
+        assert!(br.is_terminator());
+        let mut j = InstKind::Jump(BlockId::from_index(5));
+        j.replace_successor(BlockId::from_index(5), BlockId::from_index(9));
+        assert_eq!(j.successors(), vec![BlockId::from_index(9)]);
+        assert!(!InstKind::Const(3).is_terminator());
+    }
+
+    #[test]
+    fn allocation_sites_are_flagged() {
+        assert!(InstKind::Alloca { count: v(0) }.is_allocation_site());
+        assert!(InstKind::Malloc { count: v(0) }.is_allocation_site());
+        assert!(InstKind::GlobalAddr(GlobalId::from_index(0)).is_allocation_site());
+        assert!(!InstKind::Load { ptr: v(0) }.is_allocation_site());
+    }
+}

@@ -1,0 +1,219 @@
+//! SSA liveness analysis.
+//!
+//! Classic backward dataflow over the CFG with the standard SSA φ
+//! convention: a φ's operands are live-out of the corresponding
+//! predecessors (not live-in of the φ's block), and a φ's result is live-in
+//! of its block. The paper's Corollary 3.10 ("if `xi ∈ LT(xj)` and both are
+//! simultaneously alive then `xi < xj`") is phrased in terms of exactly
+//! this notion of liveness, and the property-based tests use it.
+
+use crate::bitset::DenseBitSet;
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::{BlockId, Value};
+use crate::inst::InstKind;
+
+/// Live-in / live-out sets per block.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<DenseBitSet>,
+    live_out: Vec<DenseBitSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func` with the given `cfg`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let nb = func.num_blocks();
+        let nv = func.num_insts();
+        let mut live_in = vec![DenseBitSet::new(nv); nb];
+        let mut live_out = vec![DenseBitSet::new(nv); nb];
+
+        // Per-block upward-exposed uses and defs (φs handled separately).
+        let mut gen = vec![DenseBitSet::new(nv); nb];
+        let mut def = vec![DenseBitSet::new(nv); nb];
+        // φ uses contribute to the *predecessor's* live-out.
+        let mut phi_out = vec![DenseBitSet::new(nv); nb];
+
+        for b in func.block_ids() {
+            for (v, data) in func.block_insts(b) {
+                match &data.kind {
+                    InstKind::Phi { incomings } => {
+                        def[b.index()].insert(v.index());
+                        for (pred, arg) in incomings {
+                            phi_out[pred.index()].insert(arg.index());
+                        }
+                    }
+                    kind => {
+                        kind.for_each_operand(|u| {
+                            if !def[b.index()].contains(u.index()) {
+                                gen[b.index()].insert(u.index());
+                            }
+                        });
+                        if data.has_result() {
+                            def[b.index()].insert(v.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Iterate to fixpoint in post-order (backward analysis converges
+        // fastest visiting successors first).
+        let order = cfg.postorder().to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                // live_out[b] = phi_out[b] ∪ ⋃_{s ∈ succ(b)} live_in[s]
+                let mut out = phi_out[b.index()].clone();
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                // live_in[b] = gen[b] ∪ (live_out[b] \ def[b]) ∪ φ-defs?
+                // φ results are defined *in* b, so they are not live-in.
+                let mut inn = out.clone();
+                inn.difference_with(&def[b.index()]);
+                inn.union_with(&gen[b.index()]);
+                if out != live_out[b.index()] || inn != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        Self { live_in, live_out }
+    }
+
+    /// Values live at the entry of `b`.
+    pub fn live_in(&self, b: BlockId) -> &DenseBitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Values live at the exit of `b`.
+    pub fn live_out(&self, b: BlockId) -> &DenseBitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Whether two values are simultaneously alive anywhere in `func`.
+    ///
+    /// In strict SSA two interfering values are simultaneously alive iff
+    /// one is alive at the definition point of the other (Budimlić et al.,
+    /// cited by the paper's Corollary 3.10), which this method checks.
+    pub fn interfere(&self, func: &Function, positions: &[u32], a: Value, b: Value) -> bool {
+        self.live_at_def(func, positions, a, b) || self.live_at_def(func, positions, b, a)
+    }
+
+    /// Whether `v` is alive just after the definition point of `at`.
+    ///
+    /// This is the notion of simultaneity in the paper's Corollary 3.10:
+    /// two SSA values interfere iff one is alive at the definition point
+    /// of the other; the dynamic-soundness property tests check the
+    /// less-than and no-alias claims at exactly these points.
+    pub fn live_at_def(&self, func: &Function, positions: &[u32], v: Value, at: Value) -> bool {
+        let Some(bb) = func.inst(at).block else { return false };
+        // Alive after `at` ⇔ live-out of bb, or used later in bb.
+        if self.live_out[bb.index()].contains(v.index()) {
+            // Live-out and defined before the end: alive at def of `at` if
+            // v's definition reaches there; in SSA it is enough that v is
+            // live-out and defined at or before `at`'s position (same
+            // block) or defined elsewhere.
+            match func.inst(v).block {
+                Some(vb) if vb == bb => return positions[v.index()] <= positions[at.index()],
+                _ => return true,
+            }
+        }
+        // Otherwise: used after `at` within bb?
+        let block = func.block(bb);
+        let at_pos = positions[at.index()] as usize;
+        for &w in block.insts.iter().skip(at_pos + 1) {
+            let mut used = false;
+            match &func.inst(w).kind {
+                InstKind::Phi { .. } => {}
+                kind => kind.for_each_operand(|u| used |= u == v),
+            }
+            if used {
+                // v must also be defined at or before `at`.
+                return match func.inst(v).block {
+                    Some(vb) if vb == bb => positions[v.index()] <= positions[at.index()],
+                    _ => true,
+                };
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Pred};
+    use crate::types::Type;
+
+    fn loop_fn() -> (Function, BlockId, BlockId, BlockId, [Value; 4]) {
+        let mut f = Function::new("t", vec![("n", Type::Int)], Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let entry = b.current_block();
+        let header = b.create_block();
+        let exit = b.create_block();
+        let n = b.param(0);
+        let zero = b.iconst(0);
+        let one = b.iconst(1);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi(Type::Int);
+        let i2 = b.binary(BinOp::Add, i, one);
+        let c = b.cmp(Pred::Lt, i2, n);
+        b.br(c, header, exit);
+        b.set_phi_incomings(i, vec![(entry, zero), (header, i2)]);
+        b.switch_to(exit);
+        b.ret(Some(i2));
+        b.finish();
+        (f, entry, header, exit, [n, one, i, i2])
+    }
+
+    #[test]
+    fn loop_carried_values_are_live_around_the_loop() {
+        let (f, entry, header, exit, [n, one, _i, i2]) = loop_fn();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // n and one are live into the header from entry.
+        assert!(lv.live_out(entry).contains(n.index()));
+        assert!(lv.live_out(entry).contains(one.index()));
+        assert!(lv.live_in(header).contains(n.index()));
+        // i2 is live-out of header (phi back edge + exit use).
+        assert!(lv.live_out(header).contains(i2.index()));
+        assert!(lv.live_in(exit).contains(i2.index()));
+        // n is dead after the header.
+        assert!(!lv.live_in(exit).contains(n.index()));
+    }
+
+    #[test]
+    fn phi_def_is_not_live_in() {
+        let (f, _, header, _, [_, _, i, _]) = loop_fn();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(
+            !lv.live_in(header).contains(i.index()),
+            "φ results are defined in their block, not live-in"
+        );
+    }
+
+    #[test]
+    fn interference_within_a_block() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), None);
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.opaque(Type::Int);
+        let y = b.opaque(Type::Int);
+        let _z = b.binary(BinOp::Add, x, y);
+        let w = b.opaque(Type::Int);
+        b.ret(None);
+        b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let pos = f.positions();
+        assert!(lv.interfere(&f, &pos, x, y), "x and y are both live before the add");
+        assert!(!lv.interfere(&f, &pos, x, w), "x dies at the add, before w is defined");
+    }
+}

@@ -1,0 +1,289 @@
+//! Natural-loop detection.
+//!
+//! Classic dominator-based loop analysis: a *back edge* is an edge
+//! `n → h` whose target dominates its source; the natural loop of `h`
+//! is `h` plus every block that reaches some back-edge source `n`
+//! without passing through `h`. Loops sharing a header are merged (as
+//! in LLVM's `LoopInfo`); distinct headers nest by body inclusion.
+//!
+//! Consumers in this workspace: loop-invariant code motion
+//! (`sraa-opt::licm`) hoists loads to preheaders, and the loop-shaped
+//! workload generators assert their CFGs have the intended nesting.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Sources of the back edges (`latch → header`).
+    pub latches: Vec<BlockId>,
+    /// Every block in the loop, header included, unordered.
+    pub body: Vec<BlockId>,
+    /// Index of the innermost enclosing loop, if any.
+    pub parent: Option<usize>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// The unique out-of-loop predecessor of the header, if the loop has
+    /// one (the *preheader*, where hoisted code lands). `None` when the
+    /// header has several external predecessors or is the function entry.
+    pub fn preheader(&self, cfg: &Cfg) -> Option<BlockId> {
+        let mut outside = cfg
+            .preds(self.header)
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p));
+        let candidate = outside.next()?;
+        if outside.next().is_some() {
+            return None;
+        }
+        // The preheader must branch only into the loop, so an inserted
+        // instruction cannot execute on an unrelated path.
+        (cfg.succs(candidate) == [self.header]).then_some(candidate)
+    }
+}
+
+/// The loop forest of one function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// innermost[b] = index of the innermost loop containing block `b`.
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Computes the natural loops of `func`.
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // Collect back edges, grouped by header in RPO order so outer
+        // loops (earlier headers) come first.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &b in &cfg.reverse_postorder() {
+            for succ in func.successors(b) {
+                if dom.dominates(succ, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == succ) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((succ, vec![b])),
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in by_header {
+            // Walk CFG predecessors backwards from the latches, stopping
+            // at the header.
+            let mut body = vec![header];
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if body.contains(&b) {
+                    continue;
+                }
+                body.push(b);
+                stack.extend(cfg.preds(b).iter().copied());
+            }
+            loops.push(Loop { header, latches, body, parent: None });
+        }
+
+        // Nesting: the parent of L is the smallest other loop strictly
+        // containing L's header.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j || !loops[j].contains(loops[i].header) {
+                    continue;
+                }
+                if loops[j].header == loops[i].header {
+                    continue;
+                }
+                if best.is_none_or(|b| loops[j].body.len() < loops[b].body.len()) {
+                    best = Some(j);
+                }
+            }
+            loops[i].parent = best;
+        }
+
+        // innermost[b]: smallest loop containing b.
+        let mut innermost = vec![None; func.num_blocks()];
+        for (slot, entry) in innermost.iter_mut().enumerate() {
+            let b = BlockId::from_index(slot);
+            let mut best: Option<usize> = None;
+            for (idx, l) in loops.iter().enumerate() {
+                if l.contains(b) && best.is_none_or(|x: usize| l.body.len() < loops[x].body.len())
+                {
+                    best = Some(idx);
+                }
+            }
+            *entry = best;
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops, outermost headers first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&Loop> {
+        self.innermost.get(b.index()).copied().flatten().map(|i| &self.loops[i])
+    }
+
+    /// Loop nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> usize {
+        let mut d = 0;
+        let mut cur = self.innermost.get(b.index()).copied().flatten();
+        while let Some(i) = cur {
+            d += 1;
+            cur = self.loops[i].parent;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forest(src: &str, name: &str) -> (crate::module::Module, LoopForest, Cfg) {
+        // The IR parser keeps these tests frontend-free.
+        let m = crate::parser::parse_module(src).expect("parse");
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let lf = LoopForest::compute(f, &cfg, &dom);
+        (m, lf, cfg)
+    }
+
+    const SINGLE_LOOP: &str = r#"
+        func @f(%n: int) -> int {
+        bb0:
+            %c0: int = const 0
+            %c1: int = const 1
+            jump bb1
+        bb1:
+            %i: int = phi [bb0: %c0], [bb2: %i2]
+            %cmp: int = cmp lt %i, %n
+            br %cmp, bb2, bb3
+        bb2:
+            %i2: int = add %i, %c1
+            jump bb1
+        bb3:
+            ret %i
+        }
+    "#;
+
+    #[test]
+    fn detects_a_single_loop() {
+        let (_, lf, cfg) = forest(SINGLE_LOOP, "f");
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.header, BlockId::from_index(1));
+        assert_eq!(l.latches, vec![BlockId::from_index(2)]);
+        assert_eq!(l.body.len(), 2, "header + latch");
+        assert_eq!(l.parent, None);
+        assert_eq!(l.preheader(&cfg), Some(BlockId::from_index(0)));
+        assert_eq!(lf.depth(BlockId::from_index(1)), 1);
+        assert_eq!(lf.depth(BlockId::from_index(0)), 0);
+        assert_eq!(lf.depth(BlockId::from_index(3)), 0);
+    }
+
+    const NESTED: &str = r#"
+        func @g(%n: int) -> int {
+        bb0:
+            %c0: int = const 0
+            %c1: int = const 1
+            jump bb1
+        bb1:
+            %i: int = phi [bb0: %c0], [bb4: %i2]
+            %ci: int = cmp lt %i, %n
+            br %ci, bb2, bb5
+        bb2:
+            %j: int = phi [bb1: %c0], [bb3: %j2]
+            %cj: int = cmp lt %j, %n
+            br %cj, bb3, bb4
+        bb3:
+            %j2: int = add %j, %c1
+            jump bb2
+        bb4:
+            %i2: int = add %i, %c1
+            jump bb1
+        bb5:
+            ret %i
+        }
+    "#;
+
+    #[test]
+    fn nested_loops_have_parents_and_depths() {
+        let (_, lf, _) = forest(NESTED, "g");
+        assert_eq!(lf.loops().len(), 2);
+        let outer = lf.loops().iter().position(|l| l.header.index() == 1).unwrap();
+        let inner = lf.loops().iter().position(|l| l.header.index() == 2).unwrap();
+        assert_eq!(lf.loops()[inner].parent, Some(outer));
+        assert_eq!(lf.loops()[outer].parent, None);
+        assert!(lf.loops()[outer].contains(BlockId::from_index(3)), "inner body is in outer");
+        assert_eq!(lf.depth(BlockId::from_index(3)), 2);
+        assert_eq!(lf.depth(BlockId::from_index(4)), 1);
+        let b2 = BlockId::from_index(2);
+        assert_eq!(lf.innermost(b2).unwrap().header, b2);
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let (_, lf, _) = forest(
+            r#"
+            func @h() -> int {
+            bb0:
+                %c: int = const 7
+                ret %c
+            }
+            "#,
+            "h",
+        );
+        assert!(lf.loops().is_empty());
+        assert_eq!(lf.depth(BlockId::from_index(0)), 0);
+    }
+
+    #[test]
+    fn shared_header_loops_are_merged() {
+        // Two back edges into one header: one loop with two latches.
+        let (_, lf, _) = forest(
+            r#"
+            func @k(%n: int) -> int {
+            bb0:
+                %c0: int = const 0
+                %c1: int = const 1
+                jump bb1
+            bb1:
+                %i: int = phi [bb0: %c0], [bb2: %i2], [bb3: %i3]
+                %cmp: int = cmp lt %i, %n
+                br %cmp, bb2, bb4
+            bb2:
+                %i2: int = add %i, %c1
+                %even: int = rem %i2, %c1
+                %ce: int = cmp eq %even, %c0
+                br %ce, bb1, bb3
+            bb3:
+                %i3: int = add %i, %c1
+                jump bb1
+            bb4:
+                ret %i
+            }
+            "#,
+            "k",
+        );
+        assert_eq!(lf.loops().len(), 1);
+        assert_eq!(lf.loops()[0].latches.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Modules: collections of functions and globals.
+
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalId};
+use crate::types::Type;
+
+/// A module-level global variable (an allocation site with static storage).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Global name (unique within the module).
+    pub name: String,
+    /// Scalar type of the *elements* stored in the global.
+    pub elem_ty: Type,
+    /// Number of scalar elements.
+    pub count: u32,
+}
+
+/// A whole program: functions plus globals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    funcs: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function with the given signature and an empty body,
+    /// returning its id. Bodies are filled in via
+    /// [`function_mut`](Self::function_mut) or a
+    /// [`FunctionBuilder`](crate::FunctionBuilder).
+    pub fn declare_function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Type)>,
+        ret_ty: Option<Type>,
+    ) -> FuncId {
+        let params = params.into_iter().map(|(n, t)| (n.to_string(), t)).collect();
+        self.funcs.push(Function::new(name, params, ret_ty));
+        FuncId::from_index(self.funcs.len() - 1)
+    }
+
+    /// Declares a global array of `count` elements of type `elem_ty`.
+    pub fn declare_global(&mut self, name: impl Into<String>, elem_ty: Type, count: u32) -> GlobalId {
+        self.globals.push(Global { name: name.into(), elem_ty, count });
+        GlobalId::from_index(self.globals.len() - 1)
+    }
+
+    /// Immutable access to a function.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Immutable access to a global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(FuncId::from_index)
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Number of globals.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId::from_index(i), f))
+    }
+
+    /// Iterates over `(id, global)` pairs.
+    pub fn globals(&self) -> impl Iterator<Item = (GlobalId, &Global)> {
+        self.globals.iter().enumerate().map(|(i, g)| (GlobalId::from_index(i), g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_look_up() {
+        let mut m = Module::new();
+        let f = m.declare_function("foo", vec![("a", Type::Int)], None);
+        let g = m.declare_function("bar", vec![], Some(Type::Ptr(1)));
+        assert_eq!(m.function_by_name("foo"), Some(f));
+        assert_eq!(m.function_by_name("bar"), Some(g));
+        assert_eq!(m.function_by_name("baz"), None);
+        assert_eq!(m.num_functions(), 2);
+        assert_eq!(m.function(g).ret_ty, Some(Type::Ptr(1)));
+    }
+
+    #[test]
+    fn globals_carry_layout() {
+        let mut m = Module::new();
+        let g = m.declare_global("table", Type::Int, 128);
+        assert_eq!(m.global(g).count, 128);
+        assert_eq!(m.num_globals(), 1);
+        assert_eq!(m.globals().count(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Dead code elimination.
+//!
+//! Detaches value-producing instructions with no remaining uses and no
+//! side effects. Loads are considered removable (as in LLVM, absent
+//! volatility), allocations too; stores, calls and terminators are always
+//! kept. Runs to a fixpoint (removing one instruction can orphan its
+//! operands).
+
+use crate::defuse::DefUse;
+use crate::function::Function;
+use crate::ids::Value;
+use crate::inst::InstKind;
+
+/// Whether an unused instruction may be deleted.
+fn removable(kind: &InstKind) -> bool {
+    match kind {
+        InstKind::Store { .. }
+        | InstKind::Call { .. }
+        | InstKind::Br { .. }
+        | InstKind::Jump(_)
+        | InstKind::Ret(_) => false,
+        // Params stay: they define the ABI surface of the function.
+        InstKind::Param(_) => false,
+        _ => true,
+    }
+}
+
+/// Removes dead instructions from `func`; returns how many were detached.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut total = 0usize;
+    loop {
+        let du = DefUse::compute(func);
+        let dead: Vec<Value> = func
+            .block_ids()
+            .flat_map(|b| func.block(b).insts.clone())
+            .filter(|&v| {
+                let data = func.inst(v);
+                data.has_result() && du.is_dead(v) && removable(&data.kind)
+            })
+            .collect();
+        if dead.is_empty() {
+            break;
+        }
+        for v in dead {
+            func.detach_inst(v);
+            total += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Type;
+    use crate::verifier::verify_function;
+
+    #[test]
+    fn removes_unused_chains_transitively() {
+        let mut f = Function::new("t", vec![("x", Type::Int)], Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.param(0);
+        let a = b.binary(BinOp::Add, x, x); // used only by `m`
+        let m = b.binary(BinOp::Mul, a, a); // unused
+        let _ = m;
+        b.ret(Some(x));
+        b.finish();
+        let n = eliminate_dead_code(&mut f);
+        assert_eq!(n, 2, "m first, then a becomes dead");
+        verify_function(&f, None).unwrap();
+        assert!(f.inst(a).block.is_none());
+        assert!(f.inst(m).block.is_none());
+    }
+}

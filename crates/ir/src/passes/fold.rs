@@ -1,0 +1,189 @@
+//! Constant folding and algebraic simplification.
+//!
+//! Rewrites instructions *in place* (the value id is preserved, so no
+//! use-rewriting is needed):
+//!
+//! * `c1 ⊕ c2` → `const` (division by a zero constant is left alone — it
+//!   must still trap at run time);
+//! * `x + 0`, `x - 0`, `x * 1` → `copy x`; `x * 0` → `const 0`;
+//! * `x - x` → `const 0`; `x == x` → `const 1`; `x != x` / `x < x` → `const 0`;
+//! * `cmp c1 c2` → `const 0/1`;
+//! * `φ(c, c, …, c)` over one single constant value → `const c`;
+//! * `copy` of a constant → that constant;
+//! * `gep p, 0` → `copy p`.
+//!
+//! Runs to a fixpoint and reports the number of rewrites.
+
+use crate::function::Function;
+use crate::ids::Value;
+use crate::inst::{BinOp, CopyOrigin, InstKind};
+
+/// Folds constants in `func` until nothing changes; returns the number of
+/// instructions rewritten.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let mut total = 0usize;
+    loop {
+        let mut changed = 0usize;
+        let worklist: Vec<Value> = func
+            .block_ids()
+            .flat_map(|b| func.block(b).insts.clone())
+            .collect();
+        for v in worklist {
+            let as_const = |f: &Function, x: Value| match f.inst(x).kind {
+                InstKind::Const(c) => Some(c),
+                _ => None,
+            };
+            let new_kind: Option<InstKind> = match &func.inst(v).kind {
+                InstKind::Binary { op, lhs, rhs } => {
+                    let (op, lhs, rhs) = (*op, *lhs, *rhs);
+                    match (as_const(func, lhs), as_const(func, rhs)) {
+                        (Some(a), Some(b)) => match op {
+                            BinOp::Add => Some(InstKind::Const(a.wrapping_add(b))),
+                            BinOp::Sub => Some(InstKind::Const(a.wrapping_sub(b))),
+                            BinOp::Mul => Some(InstKind::Const(a.wrapping_mul(b))),
+                            BinOp::Div if b != 0 => Some(InstKind::Const(a.wrapping_div(b))),
+                            BinOp::Rem if b != 0 => Some(InstKind::Const(a.wrapping_rem(b))),
+                            _ => None, // division by zero must keep trapping
+                        },
+                        (_, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                            Some(InstKind::Copy { src: lhs, origin: CopyOrigin::Plain })
+                        }
+                        (Some(0), _) if op == BinOp::Add => {
+                            Some(InstKind::Copy { src: rhs, origin: CopyOrigin::Plain })
+                        }
+                        (_, Some(1)) if op == BinOp::Mul => {
+                            Some(InstKind::Copy { src: lhs, origin: CopyOrigin::Plain })
+                        }
+                        (Some(1), _) if op == BinOp::Mul => {
+                            Some(InstKind::Copy { src: rhs, origin: CopyOrigin::Plain })
+                        }
+                        (_, Some(0)) | (Some(0), _) if op == BinOp::Mul => {
+                            Some(InstKind::Const(0))
+                        }
+                        _ if lhs == rhs && op == BinOp::Sub => Some(InstKind::Const(0)),
+                        _ => None,
+                    }
+                }
+                InstKind::Cmp { pred, lhs, rhs } => {
+                    let (pred, lhs, rhs) = (*pred, *lhs, *rhs);
+                    match (as_const(func, lhs), as_const(func, rhs)) {
+                        (Some(a), Some(b)) => Some(InstKind::Const(pred.eval(a, b) as i64)),
+                        _ if lhs == rhs => {
+                            // x ⋈ x is decidable for every predicate.
+                            Some(InstKind::Const(pred.eval(0, 0) as i64))
+                        }
+                        _ => None,
+                    }
+                }
+                InstKind::Copy { src, .. } => {
+                    as_const(func, *src).map(InstKind::Const)
+                }
+                InstKind::Phi { incomings } => {
+                    let consts: Vec<Option<i64>> =
+                        incomings.iter().map(|(_, x)| as_const(func, *x)).collect();
+                    match consts.split_first() {
+                        Some((Some(first), rest))
+                            if rest.iter().all(|c| *c == Some(*first)) =>
+                        {
+                            Some(InstKind::Const(*first))
+                        }
+                        _ => None,
+                    }
+                }
+                InstKind::Gep { base, offset } => {
+                    if as_const(func, *offset) == Some(0) {
+                        Some(InstKind::Copy { src: *base, origin: CopyOrigin::Plain })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(kind) = new_kind {
+                func.inst_mut(v).kind = kind;
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+        total += changed;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+    use crate::types::Type;
+    use crate::verifier::verify_function;
+
+    #[test]
+    fn folds_arithmetic_chains() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let two = b.iconst(2);
+        let three = b.iconst(3);
+        let s = b.binary(BinOp::Add, two, three); // 5
+        let p = b.binary(BinOp::Mul, s, s); // 25 after one more round
+        b.ret(Some(p));
+        b.finish();
+        let n = fold_constants(&mut f);
+        assert!(n >= 2, "both ops fold: {n}");
+        assert_eq!(f.inst(p).kind, InstKind::Const(25));
+        verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let mut f = Function::new("t", Vec::<(&str, Type)>::new(), Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let one = b.iconst(1);
+        let zero = b.iconst(0);
+        let d = b.binary(BinOp::Div, one, zero);
+        b.ret(Some(d));
+        b.finish();
+        fold_constants(&mut f);
+        assert!(
+            matches!(f.inst(d).kind, InstKind::Binary { op: BinOp::Div, .. }),
+            "1/0 must keep trapping at run time"
+        );
+    }
+
+    #[test]
+    fn identities_become_copies() {
+        let mut f = Function::new("t", vec![("x", Type::Int)], Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.param(0);
+        let zero = b.iconst(0);
+        let one = b.iconst(1);
+        let a = b.binary(BinOp::Add, x, zero);
+        let m = b.binary(BinOp::Mul, a, one);
+        let z = b.binary(BinOp::Sub, m, m);
+        b.ret(Some(z));
+        b.finish();
+        fold_constants(&mut f);
+        assert!(matches!(f.inst(a).kind, InstKind::Copy { src, .. } if src == x));
+        assert!(matches!(f.inst(m).kind, InstKind::Copy { src, .. } if src == a));
+        assert_eq!(f.inst(z).kind, InstKind::Const(0));
+        verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn reflexive_comparisons_fold() {
+        let mut f = Function::new("t", vec![("x", Type::Int)], Some(Type::Int));
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.param(0);
+        let lt = b.cmp(Pred::Lt, x, x);
+        let eq = b.cmp(Pred::Eq, x, x);
+        let s = b.binary(BinOp::Add, lt, eq);
+        b.ret(Some(s));
+        b.finish();
+        fold_constants(&mut f);
+        assert_eq!(f.inst(lt).kind, InstKind::Const(0));
+        assert_eq!(f.inst(eq).kind, InstKind::Const(1));
+        assert_eq!(f.inst(s).kind, InstKind::Const(1));
+    }
+}

@@ -1,0 +1,16 @@
+//! Classic scalar optimisation passes over the IR.
+//!
+//! These are substrate passes, not part of the paper's analysis pipeline —
+//! LLVM runs its own simplifications before the paper's passes, and these
+//! give the workspace the same vocabulary. They are deliberately *not*
+//! wired into [`StrictInequalityAnalysis::run`]: the workload calibration
+//! in `sraa-synth` targets un-optimised input (see DESIGN.md), and keeping
+//! the passes explicit lets the ablation harness measure their effect.
+//!
+//! [`StrictInequalityAnalysis::run`]: ../../sraa_core/struct.StrictInequalityAnalysis.html
+
+pub mod dce;
+pub mod fold;
+
+pub use dce::eliminate_dead_code;
+pub use fold::fold_constants;

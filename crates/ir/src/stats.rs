@@ -1,0 +1,89 @@
+//! Program size statistics.
+//!
+//! The paper's scalability study (its Figure 11) plots the number of
+//! constraints against the number of *IR instructions*. In LLVM, constants
+//! and formal parameters are not instructions, so [`ModuleStats`] excludes
+//! our materialised `Const`/`Param` pseudo-instructions from the count to
+//! keep the metric comparable.
+
+use crate::inst::InstKind;
+use crate::module::Module;
+
+/// Size metrics for a module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Number of instructions, excluding `Const` and `Param`
+    /// pseudo-instructions (which LLVM does not count as instructions).
+    pub instructions: usize,
+    /// Number of values with pointer type.
+    pub pointer_values: usize,
+    /// Number of memory accesses (loads + stores).
+    pub memory_accesses: usize,
+    /// Number of allocation sites (alloca + malloc + globaladdr uses).
+    pub allocation_sites: usize,
+}
+
+impl ModuleStats {
+    /// Computes statistics for `module`.
+    pub fn compute(module: &Module) -> Self {
+        let mut s = ModuleStats { functions: module.num_functions(), ..Default::default() };
+        for (_, f) in module.functions() {
+            s.blocks += f.num_blocks();
+            for b in f.block_ids() {
+                for (_, data) in f.block_insts(b) {
+                    match &data.kind {
+                        InstKind::Const(_) | InstKind::Param(_) => {}
+                        kind => {
+                            s.instructions += 1;
+                            if data.ty.is_some_and(crate::types::Type::is_ptr) {
+                                s.pointer_values += 1;
+                            }
+                            match kind {
+                                InstKind::Load { .. } | InstKind::Store { .. } => {
+                                    s.memory_accesses += 1
+                                }
+                                k if k.is_allocation_site() => s.allocation_sites += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn counts_exclude_consts_and_params() {
+        let mut m = Module::new();
+        let fid = m.declare_function("f", vec![("p", Type::Ptr(1))], None);
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let p = b.param(0);
+        let c = b.iconst(1);
+        let q = b.gep(p, c);
+        let x = b.load(q);
+        b.store(q, x);
+        b.ret(None);
+        b.finish();
+        let s = ModuleStats::compute(&m);
+        assert_eq!(s.functions, 1);
+        assert_eq!(s.blocks, 1);
+        // gep + load + store + ret = 4 (param and const excluded)
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.pointer_values, 1, "only the gep result counts; params are excluded");
+        assert_eq!(s.memory_accesses, 2);
+        assert_eq!(s.allocation_sites, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! IR well-formedness verification.
+//!
+//! Checks the structural, SSA and type invariants that the analyses rely
+//! on. Every transformation in the pipeline (frontend lowering, e-SSA
+//! splitting) is verified in tests, and the property-based tests verify
+//! every randomly generated program.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::ids::{BlockId, Value};
+use crate::inst::{BinOp, InstKind};
+use crate::module::Module;
+use crate::types::Type;
+use std::fmt;
+
+/// One or more verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Failures, each naming the function and the violated invariant.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IR verification failed ({} problem(s)):", self.problems.len())?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns all problems found across all functions.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+    for (_, f) in module.functions() {
+        if let Err(e) = verify_function(f, Some(module)) {
+            problems.extend(e.problems);
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError { problems })
+    }
+}
+
+/// Verifies a single function. Pass the module when available so calls and
+/// globals can be checked against their declarations.
+///
+/// # Errors
+///
+/// Returns all problems found.
+pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+    let mut problem = |msg: String| problems.push(format!("@{}: {}", f.name, msg));
+
+    let cfg = Cfg::compute(f);
+
+    // Structural checks.
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        match insts.last() {
+            None => problem(format!("{b} is empty")),
+            Some(&last) => {
+                if !f.inst(last).kind.is_terminator() {
+                    problem(format!("{b} does not end in a terminator"));
+                }
+            }
+        }
+        let mut seen_non_phi = false;
+        for (i, &v) in insts.iter().enumerate() {
+            let data = f.inst(v);
+            if data.block != Some(b) {
+                problem(format!("{v} is listed in {b} but records block {:?}", data.block));
+            }
+            if data.kind.is_terminator() && i + 1 != insts.len() {
+                problem(format!("terminator {v} is not the last instruction of {b}"));
+            }
+            match &data.kind {
+                InstKind::Phi { .. } => {
+                    if seen_non_phi {
+                        problem(format!("φ {v} appears after non-φ instructions in {b}"));
+                    }
+                }
+                InstKind::Param(_) => {} // params live in the entry prefix
+                _ => seen_non_phi = true,
+            }
+        }
+    }
+
+    // φ incoming lists must match predecessor sets (reachable blocks only).
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let mut preds: Vec<BlockId> = cfg.preds(b).to_vec();
+        preds.sort();
+        preds.dedup();
+        for (v, data) in f.block_insts(b) {
+            if let InstKind::Phi { incomings } = &data.kind {
+                let mut inc: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                inc.sort();
+                let deduped_len = {
+                    let mut d = inc.clone();
+                    d.dedup();
+                    d.len()
+                };
+                if deduped_len != inc.len() {
+                    problem(format!("φ {v} has duplicate incoming blocks"));
+                }
+                if inc != preds {
+                    problem(format!(
+                        "φ {v} incomings {inc:?} do not match predecessors {preds:?} of {b}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // SSA dominance: every use is dominated by its definition.
+    let dt = DomTree::compute(f, &cfg);
+    let positions = f.positions();
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (user, data) in f.block_insts(b) {
+            match &data.kind {
+                InstKind::Phi { incomings } => {
+                    for (pred, arg) in incomings {
+                        // The use occurs at the end of `pred`.
+                        let Some(term) = f.terminator(*pred) else { continue };
+                        if f.inst(*arg).block.is_none() {
+                            problem(format!("φ {user} uses detached value {arg}"));
+                        } else if !dt.def_dominates_use(f, &positions, *arg, term)
+                            && *arg != term
+                        {
+                            problem(format!(
+                                "φ {user} use of {arg} from {pred} is not dominated by its def"
+                            ));
+                        }
+                    }
+                }
+                kind => kind.for_each_operand(|op| {
+                    if f.inst(op).block.is_none() {
+                        problem(format!("{user} uses detached value {op}"));
+                    } else if !dt.def_dominates_use(f, &positions, op, user) {
+                        problem(format!("{user} use of {op} is not dominated by its def"));
+                    }
+                }),
+            }
+        }
+    }
+
+    // Type checks.
+    for b in f.block_ids() {
+        for (v, data) in f.block_insts(b) {
+            let ty_of = |x: Value| f.value_type(x);
+            match &data.kind {
+                InstKind::Const(_) => {
+                    if data.ty != Some(Type::Int) {
+                        problem(format!("const {v} must have type int"));
+                    }
+                }
+                InstKind::Param(i) => {
+                    let expected = f.params.get(*i as usize).map(|(_, t)| *t);
+                    if data.ty != expected {
+                        problem(format!("param {v} type mismatch with signature"));
+                    }
+                }
+                InstKind::Binary { op, lhs, rhs } => {
+                    let (lt, rt, ot) = (ty_of(*lhs), ty_of(*rhs), data.ty);
+                    let ok = match (op, lt, rt) {
+                        (BinOp::Add | BinOp::Sub, Some(Type::Ptr(d)), Some(Type::Int)) => {
+                            ot == Some(Type::Ptr(d))
+                        }
+                        (BinOp::Sub, Some(Type::Ptr(_)), Some(Type::Ptr(_))) => {
+                            ot == Some(Type::Int)
+                        }
+                        (_, Some(Type::Int), Some(Type::Int)) => ot == Some(Type::Int),
+                        _ => false,
+                    };
+                    if !ok {
+                        problem(format!("{v}: ill-typed {op} ({lt:?}, {rt:?}) -> {ot:?}"));
+                    }
+                }
+                InstKind::Cmp { lhs, rhs, .. } => {
+                    if ty_of(*lhs) != ty_of(*rhs) {
+                        problem(format!("{v}: cmp operands have different types"));
+                    }
+                    if data.ty != Some(Type::Int) {
+                        problem(format!("{v}: cmp must produce int"));
+                    }
+                }
+                InstKind::Phi { incomings } => {
+                    for (_, arg) in incomings {
+                        if ty_of(*arg) != data.ty {
+                            problem(format!("{v}: φ operand {arg} type mismatch"));
+                        }
+                    }
+                }
+                InstKind::Copy { src, .. } => {
+                    if ty_of(*src) != data.ty {
+                        problem(format!("{v}: copy type differs from source"));
+                    }
+                }
+                InstKind::Alloca { count } | InstKind::Malloc { count } => {
+                    if ty_of(*count) != Some(Type::Int) {
+                        problem(format!("{v}: allocation count must be int"));
+                    }
+                    if !data.ty.is_some_and(Type::is_ptr) {
+                        problem(format!("{v}: allocation must produce a pointer"));
+                    }
+                }
+                InstKind::GlobalAddr(g) => {
+                    if let Some(m) = module {
+                        let expected = m.global(*g).elem_ty.ptr_to();
+                        if data.ty != Some(expected) {
+                            problem(format!("{v}: globaladdr type mismatch with declaration"));
+                        }
+                    }
+                }
+                InstKind::Gep { base, offset } => {
+                    if !ty_of(*base).is_some_and(Type::is_ptr) {
+                        problem(format!("{v}: gep base must be a pointer"));
+                    }
+                    if ty_of(*offset) != Some(Type::Int) {
+                        problem(format!("{v}: gep offset must be int"));
+                    }
+                    if data.ty != ty_of(*base) {
+                        problem(format!("{v}: gep must preserve its base type"));
+                    }
+                }
+                InstKind::Load { ptr } => {
+                    match ty_of(*ptr).and_then(Type::pointee) {
+                        Some(p) if data.ty == Some(p) => {}
+                        _ => problem(format!("{v}: load type must be the pointee of its operand")),
+                    }
+                }
+                InstKind::Store { ptr, value } => {
+                    match ty_of(*ptr).and_then(Type::pointee) {
+                        Some(p) if ty_of(*value) == Some(p) => {}
+                        _ => problem(format!("{v}: store value must match pointee type")),
+                    }
+                }
+                InstKind::Call { callee, args } => {
+                    if let Some(m) = module {
+                        let cf = m.function(*callee);
+                        if cf.params.len() != args.len() {
+                            problem(format!("{v}: call arity mismatch to @{}", cf.name));
+                        } else {
+                            for (a, (_, pt)) in args.iter().zip(&cf.params) {
+                                if ty_of(*a) != Some(*pt) {
+                                    problem(format!("{v}: call argument {a} type mismatch"));
+                                }
+                            }
+                        }
+                        if data.ty.is_some() && data.ty != cf.ret_ty {
+                            problem(format!("{v}: call result type mismatch to @{}", cf.name));
+                        }
+                    }
+                }
+                InstKind::Opaque => {}
+                InstKind::Br { cond, .. } => {
+                    if ty_of(*cond) != Some(Type::Int) {
+                        problem(format!("{v}: branch condition must be int"));
+                    }
+                }
+                InstKind::Jump(_) => {}
+                InstKind::Ret(rv) => match (rv, f.ret_ty) {
+                    (None, None) => {}
+                    (Some(x), Some(rt)) => {
+                        if ty_of(*x) != Some(rt) {
+                            problem(format!("{v}: return value type mismatch"));
+                        }
+                    }
+                    (None, Some(_)) => problem(format!("{v}: missing return value")),
+                    (Some(_), None) => problem(format!("{v}: returning from void function")),
+                },
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError { problems })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Pred;
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut m = Module::new();
+        let fid = m.declare_function("ok", vec![("n", Type::Int)], Some(Type::Int));
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let entry = b.current_block();
+            let l = b.create_block();
+            let e = b.create_block();
+            let n = b.param(0);
+            let z = b.iconst(0);
+            let one = b.iconst(1);
+            b.jump(l);
+            b.switch_to(l);
+            let i = b.phi(Type::Int);
+            let i2 = b.binary(BinOp::Add, i, one);
+            let c = b.cmp(Pred::Lt, i2, n);
+            b.br(c, l, e);
+            b.set_phi_incomings(i, vec![(entry, z), (l, i2)]);
+            b.switch_to(e);
+            b.ret(Some(i2));
+            b.finish();
+        }
+        verify(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new();
+        let fid = m.declare_function("bad", vec![], None);
+        let f = m.function_mut(fid);
+        // %a = copy %b ; %b = opaque — use before def in the same block.
+        let entry = f.entry();
+        let b_val = f.new_inst(InstKind::Opaque, Some(Type::Int));
+        let a = f.new_inst(
+            InstKind::Copy { src: b_val, origin: crate::inst::CopyOrigin::Plain },
+            Some(Type::Int),
+        );
+        f.attach_inst(entry, 0, a);
+        f.attach_inst(entry, 1, b_val);
+        f.append_inst(entry, InstKind::Ret(None), None);
+        let err = verify(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("not dominated")), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = Module::new();
+        let fid = m.declare_function("bad", vec![], None);
+        let f = m.function_mut(fid);
+        let e = f.entry();
+        f.append_inst(e, InstKind::Const(1), Some(Type::Int));
+        let err = verify(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("terminator")), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut m = Module::new();
+        let fid = m.declare_function("bad", vec![("x", Type::Int)], None);
+        let f = m.function_mut(fid);
+        let e = f.entry();
+        let b1 = f.add_block();
+        let x = f.param_value(0);
+        f.append_inst(e, InstKind::Jump(b1), None);
+        // φ claims an incoming from b1 itself, but preds = {entry}.
+        f.append_inst(b1, InstKind::Phi { incomings: vec![(b1, x)] }, Some(Type::Int));
+        f.append_inst(b1, InstKind::Ret(None), None);
+        let err = verify(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("do not match predecessors")), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        let mut m = Module::new();
+        let fid = m.declare_function("bad", vec![("p", Type::Ptr(1))], None);
+        let f = m.function_mut(fid);
+        let e = f.entry();
+        let p = f.param_value(0);
+        // load of an int* yields int, but we claim int*.
+        let l = f.new_inst(InstKind::Load { ptr: p }, Some(Type::Ptr(1)));
+        let len = f.block(e).insts.len();
+        f.attach_inst(e, len, l);
+        f.append_inst(e, InstKind::Ret(None), None);
+        let err = verify(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("pointee")), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new();
+        let callee = m.declare_function("callee", vec![("a", Type::Int)], None);
+        {
+            let f = m.function_mut(callee);
+            f.append_inst(f.entry(), InstKind::Ret(None), None);
+        }
+        let fid = m.declare_function("caller", vec![], None);
+        let f = m.function_mut(fid);
+        let e = f.entry();
+        f.append_inst(e, InstKind::Call { callee, args: vec![] }, None);
+        f.append_inst(e, InstKind::Ret(None), None);
+        let err = verify(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("arity")), "{err}");
+    }
+}

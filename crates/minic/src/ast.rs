@@ -1,0 +1,396 @@
+//! Abstract syntax tree for MiniC.
+
+/// A frontend type: `int`, `int*`…, or `void` (function returns only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Pointer with nesting depth ≥ 1.
+    Ptr(u8),
+    /// Absence of a value (function return type only).
+    Void,
+}
+
+impl Ty {
+    /// Conversion to an IR type; `None` for `Void`.
+    pub fn to_ir(self) -> Option<sraa_ir::Type> {
+        match self {
+            Ty::Int => Some(sraa_ir::Type::Int),
+            Ty::Ptr(d) => Some(sraa_ir::Type::Ptr(d)),
+            Ty::Void => None,
+        }
+    }
+
+    /// The type `*e` has if `e` has this type.
+    pub fn deref(self) -> Option<Ty> {
+        match self {
+            Ty::Ptr(1) => Some(Ty::Int),
+            Ty::Ptr(d) if d > 1 => Some(Ty::Ptr(d - 1)),
+            _ => None,
+        }
+    }
+
+    /// The type `&lv` has if `lv` has this type.
+    pub fn addr_of(self) -> Option<Ty> {
+        match self {
+            Ty::Int => Some(Ty::Ptr(1)),
+            Ty::Ptr(d) => Some(Ty::Ptr(d + 1)),
+            Ty::Void => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Void => write!(f, "void"),
+            Ty::Ptr(d) => {
+                write!(f, "int")?;
+                for _ in 0..*d {
+                    write!(f, "*")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Global variable declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub funcs: Vec<FuncDef>,
+}
+
+/// A global declaration: `int g;` (count 1) or `int g[N];`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub elem_ty: Ty,
+    /// Element count (1 for scalars).
+    pub count: u32,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Compound assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=` (also lowers `++`)
+    Add,
+    /// `-=` (also lowers `--`)
+    Sub,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `ty name = init;` — a scalar local (SSA-tracked, no memory).
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Optional initialiser (uninitialised locals read as 0).
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `int name[N];` — a stack array (an `alloca` allocation site).
+    DeclArray {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        elem_ty: Ty,
+        /// Element count.
+        count: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `lvalue op value;`
+    Assign {
+        /// Assignment target (must be an lvalue).
+        target: Expr,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then else els`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body (runs at least once).
+        body: Vec<Stmt>,
+        /// Condition, evaluated after each iteration.
+        cond: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; step) body` — init/step are comma lists.
+    For {
+        /// Initialisation statements.
+        init: Vec<Stmt>,
+        /// Optional condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Step statements.
+        step: Vec<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return e?;`
+    Return {
+        /// Returned value for non-void functions.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (e.g. a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// A nested block with its own scope.
+    Block(Vec<Stmt>),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is `e == 0`).
+    Not,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of (on memory lvalues only).
+    AddrOf,
+}
+
+/// Binary operators (no short-circuit here; `&&`/`||` are separate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpAst {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var {
+        /// Name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Non-short-circuit binary operation.
+    Binary {
+        /// Operator.
+        op: BinOpAst,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Short-circuit `&&`.
+    And {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Short-circuit `||`.
+    Or {
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Array/pointer indexing `base[index]`.
+    Index {
+        /// Base expression (array or pointer).
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Direct function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `malloc(n)` — element type inferred from the assignment context.
+    Malloc {
+        /// Element count.
+        count: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `input()` — an opaque external integer.
+    Input {
+        /// Source line.
+        line: u32,
+    },
+    /// `inptr()` — an opaque external `int*` (an I/O buffer, say).
+    InputPtr {
+        /// Source line.
+        line: u32,
+    },
+    /// C's conditional expression `cond ? then_e : else_e`.
+    Ternary {
+        /// Condition (int).
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_e: Box<Expr>,
+        /// Value when the condition is zero.
+        else_e: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line of the expression (0 for literals).
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_) => 0,
+            Expr::Var { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::And { line, .. }
+            | Expr::Or { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Malloc { line, .. }
+            | Expr::Input { line }
+            | Expr::InputPtr { line }
+            | Expr::Ternary { line, .. } => *line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_deref_and_addr_of() {
+        assert_eq!(Ty::Ptr(2).deref(), Some(Ty::Ptr(1)));
+        assert_eq!(Ty::Ptr(1).deref(), Some(Ty::Int));
+        assert_eq!(Ty::Int.deref(), None);
+        assert_eq!(Ty::Int.addr_of(), Some(Ty::Ptr(1)));
+        assert_eq!(Ty::Void.addr_of(), None);
+    }
+
+    #[test]
+    fn ty_display() {
+        assert_eq!(Ty::Ptr(3).to_string(), "int***");
+        assert_eq!(Ty::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn ty_to_ir() {
+        assert_eq!(Ty::Int.to_ir(), Some(sraa_ir::Type::Int));
+        assert_eq!(Ty::Ptr(2).to_ir(), Some(sraa_ir::Type::Ptr(2)));
+        assert_eq!(Ty::Void.to_ir(), None);
+    }
+}

@@ -1,0 +1,327 @@
+//! Lexer for MiniC.
+
+use crate::CompileError;
+
+/// Kinds of tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (always non-negative; `-` is a unary operator).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `src` into tokens.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let push = |out: &mut Vec<Token>, kind| out.push(Token { kind, line });
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 2;
+            }
+            '(' => {
+                push(&mut out, TokenKind::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, TokenKind::RParen);
+                i += 1;
+            }
+            '{' => {
+                push(&mut out, TokenKind::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, TokenKind::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push(&mut out, TokenKind::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push(&mut out, TokenKind::RBracket);
+                i += 1;
+            }
+            ';' => {
+                push(&mut out, TokenKind::Semi);
+                i += 1;
+            }
+            '?' => {
+                push(&mut out, TokenKind::Question);
+                i += 1;
+            }
+            ':' => {
+                push(&mut out, TokenKind::Colon);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, TokenKind::Comma);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(&mut out, TokenKind::EqEq);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(&mut out, TokenKind::NotEq);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(&mut out, TokenKind::Le);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(&mut out, TokenKind::Ge);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Gt);
+                    i += 1;
+                }
+            }
+            '+' => match bytes.get(i + 1) {
+                Some('+') => {
+                    push(&mut out, TokenKind::PlusPlus);
+                    i += 2;
+                }
+                Some('=') => {
+                    push(&mut out, TokenKind::PlusEq);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, TokenKind::Plus);
+                    i += 1;
+                }
+            },
+            '-' => match bytes.get(i + 1) {
+                Some('-') => {
+                    push(&mut out, TokenKind::MinusMinus);
+                    i += 2;
+                }
+                Some('=') => {
+                    push(&mut out, TokenKind::MinusEq);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, TokenKind::Minus);
+                    i += 1;
+                }
+            },
+            '*' => {
+                push(&mut out, TokenKind::Star);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, TokenKind::Slash);
+                i += 1;
+            }
+            '%' => {
+                push(&mut out, TokenKind::Percent);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    push(&mut out, TokenKind::AndAnd);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Amp);
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    push(&mut out, TokenKind::OrOr);
+                    i += 2;
+                } else {
+                    return Err(CompileError { line, message: "bitwise `|` is not supported".into() });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n.push(bytes[i]);
+                    i += 1;
+                }
+                let v = n.parse().map_err(|_| CompileError {
+                    line,
+                    message: format!("integer literal `{n}` out of range"),
+                })?;
+                push(&mut out, TokenKind::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut id = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    id.push(bytes[i]);
+                    i += 1;
+                }
+                push(&mut out, TokenKind::Ident(id));
+            }
+            other => {
+                return Err(CompileError { line, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a+++b <= c && d != e"),
+            vec![
+                Ident("a".into()),
+                PlusPlus,
+                Plus,
+                Ident("b".into()),
+                Le,
+                Ident("c".into()),
+                AndAnd,
+                Ident("d".into()),
+                NotEq,
+                Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines_through_comments() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn lexes_compound_assignment() {
+        use TokenKind::*;
+        assert_eq!(kinds("x += 1; y -= 2;"), vec![
+            Ident("x".into()), PlusEq, Int(1), Semi,
+            Ident("y".into()), MinusEq, Int(2), Semi,
+        ]);
+    }
+}

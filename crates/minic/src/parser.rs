@@ -1,0 +1,584 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError { line: self.line(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CompileError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s)) if s == kw)
+    }
+
+    /// `int` `*`* or `void`; returns `None` if the cursor is not at a type.
+    fn try_parse_type(&mut self) -> Option<Ty> {
+        if self.is_keyword("void") {
+            self.pos += 1;
+            return Some(Ty::Void);
+        }
+        if !self.is_keyword("int") {
+            return None;
+        }
+        self.pos += 1;
+        let mut depth = 0u8;
+        while self.eat(&TokenKind::Star) {
+            depth += 1;
+        }
+        Some(if depth == 0 { Ty::Int } else { Ty::Ptr(depth) })
+    }
+}
+
+/// Parses a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexing or syntax error.
+pub fn parse_program(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut globals = Vec::new();
+    let mut funcs = Vec::new();
+    while p.peek().is_some() {
+        let line = p.line();
+        let ty = p
+            .try_parse_type()
+            .ok_or_else(|| p.err("expected a type at top level (`int`, `int*`, `void`)"))?;
+        let name = p.expect_ident()?;
+        if p.peek() == Some(&TokenKind::LParen) {
+            // Function definition.
+            p.bump();
+            let mut params = Vec::new();
+            while p.peek() != Some(&TokenKind::RParen) {
+                if !params.is_empty() {
+                    p.expect(&TokenKind::Comma)?;
+                }
+                let pt = p.try_parse_type().ok_or_else(|| p.err("expected parameter type"))?;
+                if pt == Ty::Void {
+                    return Err(p.err("parameters cannot be void"));
+                }
+                let pn = p.expect_ident()?;
+                params.push((pn, pt));
+            }
+            p.expect(&TokenKind::RParen)?;
+            p.expect(&TokenKind::LBrace)?;
+            let body = parse_block_stmts(&mut p)?;
+            funcs.push(FuncDef { name, params, ret: ty, body, line });
+        } else {
+            // Global declaration.
+            if ty == Ty::Void {
+                return Err(p.err("globals cannot be void"));
+            }
+            let count = if p.eat(&TokenKind::LBracket) {
+                let n = match p.bump() {
+                    Some(TokenKind::Int(n)) if n > 0 => n,
+                    other => return Err(p.err(format!("expected array size, found {other:?}"))),
+                };
+                p.expect(&TokenKind::RBracket)?;
+                n as u32
+            } else {
+                1
+            };
+            p.expect(&TokenKind::Semi)?;
+            globals.push(GlobalDecl { name, elem_ty: ty, count, line });
+        }
+    }
+    Ok(Program { globals, funcs })
+}
+
+/// Parses statements up to (and consuming) the closing `}`.
+fn parse_block_stmts(p: &mut Parser) -> Result<Vec<Stmt>, CompileError> {
+    let mut stmts = Vec::new();
+    loop {
+        if p.eat(&TokenKind::RBrace) {
+            return Ok(stmts);
+        }
+        if p.peek().is_none() {
+            return Err(p.err("unterminated block"));
+        }
+        stmts.push(parse_stmt(p)?);
+    }
+}
+
+fn parse_stmt(p: &mut Parser) -> Result<Stmt, CompileError> {
+    let line = p.line();
+    if p.eat(&TokenKind::LBrace) {
+        return Ok(Stmt::Block(parse_block_stmts(p)?));
+    }
+    if p.is_keyword("if") {
+        p.bump();
+        p.expect(&TokenKind::LParen)?;
+        let cond = parse_expr(p)?;
+        p.expect(&TokenKind::RParen)?;
+        let then = vec![parse_stmt(p)?];
+        let els = if p.is_keyword("else") {
+            p.bump();
+            vec![parse_stmt(p)?]
+        } else {
+            vec![]
+        };
+        return Ok(Stmt::If { cond, then, els, line });
+    }
+    if p.is_keyword("do") {
+        p.bump();
+        let body = vec![parse_stmt(p)?];
+        if !p.is_keyword("while") {
+            return Err(p.err("expected `while` after do-body"));
+        }
+        p.bump();
+        p.expect(&TokenKind::LParen)?;
+        let cond = parse_expr(p)?;
+        p.expect(&TokenKind::RParen)?;
+        p.expect(&TokenKind::Semi)?;
+        return Ok(Stmt::DoWhile { body, cond, line });
+    }
+    if p.is_keyword("while") {
+        p.bump();
+        p.expect(&TokenKind::LParen)?;
+        let cond = parse_expr(p)?;
+        p.expect(&TokenKind::RParen)?;
+        let body = vec![parse_stmt(p)?];
+        return Ok(Stmt::While { cond, body, line });
+    }
+    if p.is_keyword("for") {
+        p.bump();
+        p.expect(&TokenKind::LParen)?;
+        let init = if p.peek() == Some(&TokenKind::Semi) {
+            vec![]
+        } else {
+            parse_simple_list(p)?
+        };
+        p.expect(&TokenKind::Semi)?;
+        let cond =
+            if p.peek() == Some(&TokenKind::Semi) { None } else { Some(parse_expr(p)?) };
+        p.expect(&TokenKind::Semi)?;
+        let step = if p.peek() == Some(&TokenKind::RParen) {
+            vec![]
+        } else {
+            parse_simple_list(p)?
+        };
+        p.expect(&TokenKind::RParen)?;
+        let body = vec![parse_stmt(p)?];
+        return Ok(Stmt::For { init, cond, step, body, line });
+    }
+    if p.is_keyword("return") {
+        p.bump();
+        let value = if p.peek() == Some(&TokenKind::Semi) { None } else { Some(parse_expr(p)?) };
+        p.expect(&TokenKind::Semi)?;
+        return Ok(Stmt::Return { value, line });
+    }
+    if p.is_keyword("break") {
+        p.bump();
+        p.expect(&TokenKind::Semi)?;
+        return Ok(Stmt::Break { line });
+    }
+    if p.is_keyword("continue") {
+        p.bump();
+        p.expect(&TokenKind::Semi)?;
+        return Ok(Stmt::Continue { line });
+    }
+    let s = parse_simple(p)?;
+    p.expect(&TokenKind::Semi)?;
+    Ok(s)
+}
+
+/// A comma-separated list of simple statements (for `for` headers).
+///
+/// Follows C's grammar: if the list starts with a declaration, the comma
+/// continues the *declaration* (`int i = 0, j = N` declares both `i` and
+/// `j`); otherwise the comma separates independent simple statements
+/// (`i++, j--`).
+fn parse_simple_list(p: &mut Parser) -> Result<Vec<Stmt>, CompileError> {
+    let first = parse_simple(p)?;
+    let decl_ty = match &first {
+        Stmt::DeclScalar { ty, .. } => Some(*ty),
+        _ => None,
+    };
+    let mut out = vec![first];
+    while p.eat(&TokenKind::Comma) {
+        match decl_ty {
+            Some(ty) => {
+                let line = p.line();
+                let name = p.expect_ident()?;
+                let init =
+                    if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
+                out.push(Stmt::DeclScalar { name, ty, init, line });
+            }
+            None => out.push(parse_simple(p)?),
+        }
+    }
+    Ok(out)
+}
+
+/// Declaration, assignment, increment, or expression — no trailing `;`.
+fn parse_simple(p: &mut Parser) -> Result<Stmt, CompileError> {
+    let line = p.line();
+    // Declaration?
+    let save = p.pos;
+    if let Some(ty) = p.try_parse_type() {
+        if ty == Ty::Void {
+            return Err(p.err("cannot declare a void variable"));
+        }
+        // Could still be an expression like `int` used as a name — but
+        // `int` is reserved, so a type here must begin a declaration.
+        let name = p.expect_ident()?;
+        if p.eat(&TokenKind::LBracket) {
+            let count = parse_expr(p)?;
+            p.expect(&TokenKind::RBracket)?;
+            return Ok(Stmt::DeclArray { name, elem_ty: ty, count, line });
+        }
+        let init =
+            if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
+        return Ok(Stmt::DeclScalar { name, ty, init, line });
+    }
+    p.pos = save;
+
+    // Assignment / inc-dec / expression.
+    let e = parse_expr(p)?;
+    match p.peek() {
+        Some(TokenKind::Assign) => {
+            p.bump();
+            let value = parse_expr(p)?;
+            Ok(Stmt::Assign { target: e, op: AssignOp::Set, value, line })
+        }
+        Some(TokenKind::PlusEq) => {
+            p.bump();
+            let value = parse_expr(p)?;
+            Ok(Stmt::Assign { target: e, op: AssignOp::Add, value, line })
+        }
+        Some(TokenKind::MinusEq) => {
+            p.bump();
+            let value = parse_expr(p)?;
+            Ok(Stmt::Assign { target: e, op: AssignOp::Sub, value, line })
+        }
+        Some(TokenKind::PlusPlus) => {
+            p.bump();
+            Ok(Stmt::Assign { target: e, op: AssignOp::Add, value: Expr::Int(1), line })
+        }
+        Some(TokenKind::MinusMinus) => {
+            p.bump();
+            Ok(Stmt::Assign { target: e, op: AssignOp::Sub, value: Expr::Int(1), line })
+        }
+        _ => Ok(Stmt::ExprStmt { expr: e, line }),
+    }
+}
+
+fn parse_expr(p: &mut Parser) -> Result<Expr, CompileError> {
+    parse_ternary(p)
+}
+
+/// `cond ? a : b` — right-associative, lowest precedence.
+fn parse_ternary(p: &mut Parser) -> Result<Expr, CompileError> {
+    let cond = parse_or(p)?;
+    if !p.eat(&TokenKind::Question) {
+        return Ok(cond);
+    }
+    let line = p.line();
+    let then_e = parse_expr(p)?;
+    p.expect(&TokenKind::Colon)?;
+    let else_e = parse_ternary(p)?;
+    Ok(Expr::Ternary {
+        cond: Box::new(cond),
+        then_e: Box::new(then_e),
+        else_e: Box::new(else_e),
+        line,
+    })
+}
+
+fn parse_or(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_and(p)?;
+    while p.peek() == Some(&TokenKind::OrOr) {
+        let line = p.line();
+        p.bump();
+        let rhs = parse_and(p)?;
+        lhs = Expr::Or { lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+    Ok(lhs)
+}
+
+fn parse_and(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_equality(p)?;
+    while p.peek() == Some(&TokenKind::AndAnd) {
+        let line = p.line();
+        p.bump();
+        let rhs = parse_equality(p)?;
+        lhs = Expr::And { lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+    Ok(lhs)
+}
+
+fn parse_equality(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_relational(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(TokenKind::EqEq) => BinOpAst::Eq,
+            Some(TokenKind::NotEq) => BinOpAst::Ne,
+            _ => return Ok(lhs),
+        };
+        let line = p.line();
+        p.bump();
+        let rhs = parse_relational(p)?;
+        lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+}
+
+fn parse_relational(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_additive(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(TokenKind::Lt) => BinOpAst::Lt,
+            Some(TokenKind::Le) => BinOpAst::Le,
+            Some(TokenKind::Gt) => BinOpAst::Gt,
+            Some(TokenKind::Ge) => BinOpAst::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = p.line();
+        p.bump();
+        let rhs = parse_additive(p)?;
+        lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+}
+
+fn parse_additive(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_multiplicative(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(TokenKind::Plus) => BinOpAst::Add,
+            Some(TokenKind::Minus) => BinOpAst::Sub,
+            _ => return Ok(lhs),
+        };
+        let line = p.line();
+        p.bump();
+        let rhs = parse_multiplicative(p)?;
+        lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+}
+
+fn parse_multiplicative(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut lhs = parse_unary(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(TokenKind::Star) => BinOpAst::Mul,
+            Some(TokenKind::Slash) => BinOpAst::Div,
+            Some(TokenKind::Percent) => BinOpAst::Rem,
+            _ => return Ok(lhs),
+        };
+        let line = p.line();
+        p.bump();
+        let rhs = parse_unary(p)?;
+        lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+    }
+}
+
+fn parse_unary(p: &mut Parser) -> Result<Expr, CompileError> {
+    let line = p.line();
+    let op = match p.peek() {
+        Some(TokenKind::Minus) => Some(UnOp::Neg),
+        Some(TokenKind::Bang) => Some(UnOp::Not),
+        Some(TokenKind::Star) => Some(UnOp::Deref),
+        Some(TokenKind::Amp) => Some(UnOp::AddrOf),
+        _ => None,
+    };
+    if let Some(op) = op {
+        p.bump();
+        let expr = parse_unary(p)?;
+        return Ok(Expr::Unary { op, expr: Box::new(expr), line });
+    }
+    parse_postfix(p)
+}
+
+fn parse_postfix(p: &mut Parser) -> Result<Expr, CompileError> {
+    let mut e = parse_primary(p)?;
+    while p.peek() == Some(&TokenKind::LBracket) {
+        let line = p.line();
+        p.bump();
+        let index = parse_expr(p)?;
+        p.expect(&TokenKind::RBracket)?;
+        e = Expr::Index { base: Box::new(e), index: Box::new(index), line };
+    }
+    Ok(e)
+}
+
+fn parse_primary(p: &mut Parser) -> Result<Expr, CompileError> {
+    let line = p.line();
+    match p.bump() {
+        Some(TokenKind::Int(v)) => Ok(Expr::Int(v)),
+        Some(TokenKind::LParen) => {
+            let e = parse_expr(p)?;
+            p.expect(&TokenKind::RParen)?;
+            Ok(e)
+        }
+        Some(TokenKind::Ident(name)) => {
+            if p.peek() == Some(&TokenKind::LParen) {
+                p.bump();
+                let mut args = Vec::new();
+                while p.peek() != Some(&TokenKind::RParen) {
+                    if !args.is_empty() {
+                        p.expect(&TokenKind::Comma)?;
+                    }
+                    args.push(parse_expr(p)?);
+                }
+                p.expect(&TokenKind::RParen)?;
+                match name.as_str() {
+                    "malloc" => {
+                        if args.len() != 1 {
+                            return Err(p.err("malloc takes exactly one argument"));
+                        }
+                        Ok(Expr::Malloc { count: Box::new(args.remove(0)), line })
+                    }
+                    "input" => {
+                        if !args.is_empty() {
+                            return Err(p.err("input takes no arguments"));
+                        }
+                        Ok(Expr::Input { line })
+                    }
+                    "inptr" => {
+                        if !args.is_empty() {
+                            return Err(p.err("inptr takes no arguments"));
+                        }
+                        Ok(Expr::InputPtr { line })
+                    }
+                    _ => Ok(Expr::Call { name, args, line }),
+                }
+            } else {
+                Ok(Expr::Var { name, line })
+            }
+        }
+        other => Err(CompileError {
+            line,
+            message: format!("expected an expression, found {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1a_shape() {
+        let prog = parse_program(
+            "void ins_sort(int* v, int N) { for (int i = 0; i < N - 1; i++) { v[i] = v[i+1]; } }",
+        )
+        .unwrap();
+        assert_eq!(prog.funcs.len(), 1);
+        let f = &prog.funcs[0];
+        assert_eq!(f.name, "ins_sort");
+        assert_eq!(f.params, vec![("v".into(), Ty::Ptr(1)), ("N".into(), Ty::Int)]);
+        assert!(matches!(f.body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn precedence_binds_mul_tighter_than_add() {
+        let prog = parse_program("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &prog.funcs[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOpAst::Add, rhs, .. } = e else { panic!("got {e:?}") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOpAst::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_below_logical_and() {
+        let prog = parse_program("int f() { return 1 < 2 && 3 < 4; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &prog.funcs[0].body[0] else { panic!() };
+        assert!(matches!(e, Expr::And { .. }));
+    }
+
+    #[test]
+    fn for_with_comma_lists() {
+        let prog =
+            parse_program("void f(int N) { for (int i = 0, j = N; i < j; i++, j--) {} }").unwrap();
+        let Stmt::For { init, step, .. } = &prog.funcs[0].body[0] else { panic!() };
+        assert_eq!(init.len(), 2);
+        assert_eq!(step.len(), 2);
+    }
+
+    #[test]
+    fn globals_scalar_and_array() {
+        let prog = parse_program("int g; int t[32]; int main() { return 0; }").unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.globals[0].count, 1);
+        assert_eq!(prog.globals[1].count, 32);
+    }
+
+    #[test]
+    fn postfix_index_chains() {
+        let prog = parse_program("int f(int** m) { return m[1][2]; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &prog.funcs[0].body[0] else { panic!() };
+        let Expr::Index { base, .. } = e else { panic!() };
+        assert!(matches!(**base, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn deref_and_addressof() {
+        let prog = parse_program("int f(int* p) { return *p + *&p[0]; }").unwrap();
+        assert_eq!(prog.funcs.len(), 1);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse_program("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn malloc_and_input_builtins() {
+        let prog = parse_program("int main() { int* p = malloc(4); int x = input(); return x; }")
+            .unwrap();
+        let Stmt::DeclScalar { init: Some(Expr::Malloc { .. }), .. } = &prog.funcs[0].body[0]
+        else {
+            panic!()
+        };
+        let Stmt::DeclScalar { init: Some(Expr::Input { .. }), .. } = &prog.funcs[0].body[1]
+        else {
+            panic!()
+        };
+    }
+}

@@ -1,0 +1,310 @@
+//! Loop-invariant load motion, parameterised by an alias oracle.
+//!
+//! A load whose address is defined outside the loop re-reads the same
+//! location every iteration; if no store in the loop can touch that
+//! location, the load can execute once, in the preheader. Three
+//! conditions gate the hoist:
+//!
+//! 1. **Invariance** — the address is defined outside the loop;
+//! 2. **Guaranteed execution** — the load's block dominates every latch,
+//!    so hoisting cannot introduce a memory access (and hence a trap)
+//!    that the original program never performed;
+//! 3. **Disambiguation** — every store in the loop is provably
+//!    `NoAlias` with the address, and the loop calls no function.
+//!
+//! Condition 3 is where the oracle earns its keep: a loop that walks
+//! `v[i]` upward from `lo + 1` can keep a `v[lo]` load hoisted only if
+//! the analysis knows `lo < i` — allocation-site reasoning (BA) cannot,
+//! the strict-inequality analysis can.
+
+use crate::OptStats;
+use sraa_alias::{AliasAnalysis, AliasResult};
+use sraa_ir::{Cfg, DomTree, FuncId, InstKind, LoopForest, Module, Value};
+
+/// Runs loop-invariant load motion over every function, driven by `aa`.
+/// Returns the number of loads hoisted to preheaders.
+pub fn hoist_invariant_loads(module: &mut Module, aa: &dyn AliasAnalysis) -> OptStats {
+    let fids: Vec<FuncId> = module.functions().map(|(id, _)| id).collect();
+    let mut stats = OptStats::default();
+    for fid in fids {
+        stats += hoist_in_function(module, fid, aa);
+    }
+    stats
+}
+
+fn hoist_in_function(module: &mut Module, fid: FuncId, aa: &dyn AliasAnalysis) -> OptStats {
+    // Phase 1 (read-only): pick the loads to move and where.
+    let func = module.function(fid);
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let loops = LoopForest::compute(func, &cfg, &dom);
+
+    // (values to move in dependency order — address chain then load,
+    //  destination preheader)
+    let mut moves: Vec<(Vec<Value>, sraa_ir::BlockId)> = Vec::new();
+    let mut hoisted_loads = 0usize;
+
+    for l in loops.loops() {
+        let Some(preheader) = l.preheader(&cfg) else { continue };
+
+        // Memory effects of the whole loop body.
+        let mut stores: Vec<Value> = Vec::new();
+        let mut has_call = false;
+        for &b in &l.body {
+            for (_, data) in func.block_insts(b) {
+                match &data.kind {
+                    InstKind::Store { ptr, .. } => stores.push(*ptr),
+                    InstKind::Call { .. } => has_call = true,
+                    _ => {}
+                }
+            }
+        }
+        if has_call {
+            continue;
+        }
+
+        for &b in &l.body {
+            // Guaranteed execution: the block runs on every iteration, so
+            // moving the load cannot introduce an access (and a trap) the
+            // original program never performed.
+            if !l.latches.iter().all(|&latch| dom.dominates(b, latch)) {
+                continue;
+            }
+            for (v, data) in func.block_insts(b) {
+                let InstKind::Load { ptr } = data.kind else { continue };
+                if moves.iter().any(|(c, _)| c.last() == Some(&v)) {
+                    continue;
+                }
+                // The address must be loop-invariant: defined outside the
+                // loop, or a pure in-loop computation over invariant
+                // operands (the usual `gep` feeding the load), which then
+                // moves out together with it.
+                let Some(chain) = invariant_chain(func, l, ptr) else { continue };
+                // Every loop store provably misses the address.
+                if stores
+                    .iter()
+                    .all(|&s| aa.alias(module, fid, ptr, s) == AliasResult::NoAlias)
+                {
+                    let mut all = chain;
+                    all.push(v);
+                    moves.push((all, preheader));
+                    hoisted_loads += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 2 (mutation): re-attach each chain before the preheader's
+    // terminator, dependencies first. The preheader dominates the loop,
+    // so every remaining in-loop use stays dominated.
+    let func = module.function_mut(fid);
+    let mut moved: Vec<Value> = Vec::new();
+    for (chain, preheader) in moves {
+        for v in chain {
+            if moved.contains(&v) {
+                continue; // shared gep already moved by an earlier load
+            }
+            moved.push(v);
+            func.detach_inst(v);
+            let at = func.block(preheader).insts.len().saturating_sub(1);
+            func.attach_inst(preheader, at, v);
+        }
+    }
+    OptStats { loads_hoisted: hoisted_loads, ..OptStats::default() }
+}
+
+/// If `ptr` is loop-invariant, returns the in-loop *pure* instructions
+/// that must move with it, dependencies first (empty when `ptr` is
+/// already defined outside). `None` when the address is loop-variant.
+///
+/// Only trap-free instructions are eligible (no `div`/`rem`): the chain
+/// is speculated into the preheader, where a zero-trip loop would
+/// execute it without the body's guard.
+fn invariant_chain(
+    func: &sraa_ir::Function,
+    l: &sraa_ir::Loop,
+    ptr: Value,
+) -> Option<Vec<Value>> {
+    fn visit(
+        func: &sraa_ir::Function,
+        l: &sraa_ir::Loop,
+        v: Value,
+        chain: &mut Vec<Value>,
+    ) -> bool {
+        let data = func.inst(v);
+        let inside = data.block.is_some_and(|b| l.contains(b));
+        if !inside {
+            return true; // defined outside: invariant, stays put
+        }
+        if chain.contains(&v) {
+            return true;
+        }
+        let pure = matches!(
+            data.kind,
+            InstKind::Const(_)
+                | InstKind::Copy { .. }
+                | InstKind::Gep { .. }
+                | InstKind::Binary {
+                    op: sraa_ir::BinOp::Add | sraa_ir::BinOp::Sub | sraa_ir::BinOp::Mul,
+                    ..
+                }
+        );
+        if !pure {
+            return false;
+        }
+        let mut ok = true;
+        data.kind.for_each_operand(|op| {
+            ok = ok && visit(func, l, op, chain);
+        });
+        if ok {
+            chain.push(v);
+        }
+        ok
+    }
+
+    let mut chain: Vec<Value> = Vec::new();
+    visit(func, l, ptr, &mut chain).then_some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraa_alias::{BasicAliasAnalysis, Combined, NoAa, StrictInequalityAa};
+    use sraa_ir::Interpreter;
+
+    fn run_main(module: &Module) -> Option<i64> {
+        Interpreter::new(module).run("main", &[]).expect("execution").result
+    }
+
+    /// The motivating kernel: `v[lo]` is invariant, all stores go to
+    /// `v[i]` with `lo < i` — only an ordering analysis hoists the load.
+    const KERNEL: &str = r#"
+        int f(int* v, int lo, int N) {
+            int s = 0;
+            for (int i = lo + 1; i < N; i++) {
+                v[i] = i;
+                s = s + v[lo];
+            }
+            return s;
+        }
+        int main() {
+            int a[12];
+            for (int k = 0; k < 12; k++) a[k] = 5;
+            return f(a, 2, 12);
+        }
+    "#;
+
+    #[test]
+    fn lt_hoists_the_ordered_invariant_load_and_ba_does_not() {
+        let mut m1 = sraa_minic::compile(KERNEL).unwrap();
+        let _ = StrictInequalityAa::new(&mut m1); // e-SSA, parity with below
+        let ba = BasicAliasAnalysis::new(&m1);
+        let before = run_main(&m1);
+        assert_eq!(hoist_invariant_loads(&mut m1, &ba).loads_hoisted, 0, "BA must not hoist");
+        assert_eq!(run_main(&m1), before);
+
+        let mut m2 = sraa_minic::compile(KERNEL).unwrap();
+        let lt = StrictInequalityAa::new(&mut m2);
+        let combined =
+            Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m2)), Box::new(lt)]);
+        let stats = hoist_invariant_loads(&mut m2, &combined);
+        assert_eq!(stats.loads_hoisted, 1, "BA+LT hoists v[lo]");
+        sraa_ir::verify(&m2).unwrap();
+        assert_eq!(run_main(&m2), before, "hoisting must preserve the result");
+    }
+
+    #[test]
+    fn ba_hoists_loads_from_disjoint_allocations() {
+        let mut m = sraa_minic::compile(
+            r#"
+            int f(int* v, int N) {
+                int b[4];
+                b[0] = 17;
+                int s = 0;
+                for (int i = 0; i < N; i++) {
+                    v[i] = i;
+                    s = s + b[0];
+                }
+                return s;
+            }
+            int main() { int a[8]; return f(a, 8); }
+            "#,
+        )
+        .unwrap();
+        let before = run_main(&m);
+        let ba = BasicAliasAnalysis::new(&m);
+        let stats = hoist_invariant_loads(&mut m, &ba);
+        assert_eq!(stats.loads_hoisted, 1, "b[] and v[] are distinct objects");
+        sraa_ir::verify(&m).unwrap();
+        assert_eq!(run_main(&m), before);
+    }
+
+    #[test]
+    fn conditional_loads_are_not_hoisted() {
+        // The load only executes when the guard holds; hoisting it would
+        // make every iteration (and a zero-trip loop) perform it.
+        let mut m = sraa_minic::compile(
+            r#"
+            int f(int* v, int N, int c) {
+                int b[1];
+                b[0] = 3;
+                int s = 0;
+                for (int i = 0; i < N; i++) {
+                    if (c) { s = s + b[0]; }
+                    v[i] = s;
+                }
+                return s;
+            }
+            int main() { int a[4]; return f(a, 4, 1); }
+            "#,
+        )
+        .unwrap();
+        let ba = BasicAliasAnalysis::new(&m);
+        let stats = hoist_invariant_loads(&mut m, &ba);
+        assert_eq!(stats.loads_hoisted, 0, "guarded load must stay put");
+    }
+
+    #[test]
+    fn calls_in_the_loop_block_hoisting() {
+        let mut m = sraa_minic::compile(
+            r#"
+            void touch(int* p) { *p = 9; }
+            int f(int* v, int N) {
+                int b[1];
+                b[0] = 1;
+                int s = 0;
+                for (int i = 0; i < N; i++) {
+                    touch(b);
+                    s = s + b[0];
+                }
+                return s;
+            }
+            int main() { int a[2]; return f(a, 2); }
+            "#,
+        )
+        .unwrap();
+        let ba = BasicAliasAnalysis::new(&m);
+        assert_eq!(hoist_invariant_loads(&mut m, &ba).loads_hoisted, 0);
+        assert_eq!(run_main(&m), Some(18), "touch() writes 9 before each read");
+    }
+
+    #[test]
+    fn pessimistic_oracle_hoists_only_in_storeless_loops() {
+        let mut m = sraa_minic::compile(
+            r#"
+            int f(int* v, int N) {
+                int s = 0;
+                for (int i = 0; i < N; i++) { s = s + v[0]; }
+                return s;
+            }
+            int main() { int a[2]; a[0] = 4; return f(a, 3); }
+            "#,
+        )
+        .unwrap();
+        let before = run_main(&m);
+        let stats = hoist_invariant_loads(&mut m, &NoAa);
+        assert_eq!(stats.loads_hoisted, 1, "no stores, nothing to disambiguate");
+        sraa_ir::verify(&m).unwrap();
+        assert_eq!(run_main(&m), before);
+    }
+}

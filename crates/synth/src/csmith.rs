@@ -1,0 +1,545 @@
+//! A Csmith-like random program generator.
+//!
+//! The paper's applicability experiment (its §4.3, Figure 12) uses Csmith
+//! (Yang et al., PLDI 2011) "tuned to produce programs with a single
+//! function, in addition to the ever present main", varying two knobs:
+//! the random seed (program size) and the maximum pointer nesting depth
+//! (2–7, `int**` through `int*******`). Programs "do not read input
+//! values: they use constants instead", which is why almost every memory
+//! index is statically known.
+//!
+//! [`generate`] reproduces those characteristics: deterministic by seed,
+//! single `work` function plus `main`, constant-heavy indexing, pointer
+//! chains up to the requested depth, and — unlike real Csmith — a
+//! guarantee that the program executes without trapping (all indices stay
+//! in bounds, pointer cells are initialised before any read), so the
+//! interpreter-based soundness property tests can run every generated
+//! program.
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Configuration for the generator.
+#[derive(Clone, Copy, Debug)]
+pub struct CsmithConfig {
+    /// Random seed; same seed ⇒ same program.
+    pub seed: u64,
+    /// Maximum pointer nesting depth (≥ 1; the paper uses 2–7).
+    pub max_ptr_depth: u8,
+    /// Rough number of statements in `work`.
+    pub num_stmts: usize,
+}
+
+impl Default for CsmithConfig {
+    fn default() -> Self {
+        Self { seed: 1, max_ptr_depth: 2, num_stmts: 40 }
+    }
+}
+
+/// All arrays have this many elements; all derived pointers keep at least
+/// [`SLACK`] addressable elements ahead of them.
+const ARRAY_SIZE: i64 = 32;
+const SLACK: i64 = 4;
+
+/// A pointer-typed local with a validity guarantee: at least `SLACK`
+/// in-bounds elements, and (for depth ≥ 2) cells `0..SLACK` initialised.
+#[derive(Clone, Debug)]
+struct PtrVar {
+    name: String,
+    depth: u8,
+    initialized: bool,
+    /// In-bounds elements reachable from the pointer (≥ SLACK, invariant).
+    slack: i64,
+    /// Heap-backed (malloc) rather than derived from a named array. Only
+    /// heap-backed pointers may be stored into pointer tables, so local
+    /// arrays never escape — mirroring the paper's Csmith lot, where
+    /// BasicAA's escape reasoning keeps locals disambiguated.
+    heap: bool,
+}
+
+struct Gen {
+    rng: StdRng,
+    out: String,
+    indent: usize,
+    max_depth: u8,
+    // environment
+    globals: Vec<String>,
+    scalars: Vec<String>,
+    arrays: Vec<String>,
+    ptrs: Vec<PtrVar>,
+    next_id: usize,
+    loop_depth: usize,
+    /// Allocation sites created so far (the paper's Csmith lot averages
+    /// six static sites per program; we cap at a similar scale).
+    sites: usize,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_id += 1;
+        format!("{prefix}{}", self.next_id)
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    /// A small constant, most often in `0..SLACK` (csmith-style
+    /// constant-heavy indexing).
+    fn const_index(&mut self) -> i64 {
+        self.rng.gen_range(0..SLACK)
+    }
+
+    /// A constant-*valued* index expression. Csmith code indexes with
+    /// expressions the compiler must fold to constants; we model that with
+    /// `ix{c}` variables (`ib * c`), which our pipeline does not constant-
+    /// fold — BA sees an unknown offset, while the interval analysis knows
+    /// the exact singleton range (the paper's Figure 12 effect).
+    fn index_str(&mut self, c: i64) -> String {
+        if self.rng.gen_bool(0.9) {
+            format!("ix{c}")
+        } else {
+            format!("{c}")
+        }
+    }
+
+    /// An integer expression over constants, scalars and safe memory reads.
+    fn int_expr(&mut self, depth: usize) -> String {
+        let choice = self.rng.gen_range(0..10);
+        match choice {
+            0..=3 => format!("{}", self.rng.gen_range(-50..50)),
+            4..=5 if !self.scalars.is_empty() => {
+                let i = self.rng.gen_range(0..self.scalars.len());
+                self.scalars[i].clone()
+            }
+            6 if !self.arrays.is_empty() => {
+                let i = self.rng.gen_range(0..self.arrays.len());
+                let c = self.rng.gen_range(0..ARRAY_SIZE);
+                let ix = self.index_str(c);
+                format!("{}[{}]", self.arrays[i], ix)
+            }
+            7 if self.ptrs.iter().any(|p| p.depth == 1) => {
+                let cands: Vec<usize> = (0..self.ptrs.len())
+                    .filter(|&i| self.ptrs[i].depth == 1)
+                    .collect();
+                let i = cands[self.rng.gen_range(0..cands.len())];
+                let c = self.const_index();
+                let ix = self.index_str(c);
+                format!("{}[{}]", self.ptrs[i].name, ix)
+            }
+            _ if depth < 2 => {
+                let a = self.int_expr(depth + 1);
+                let b = self.int_expr(depth + 1);
+                let op = ["+", "-", "*"][self.rng.gen_range(0..3)];
+                format!("({a} {op} {b})")
+            }
+            _ => format!("{}", self.rng.gen_range(0..10)),
+        }
+    }
+
+    /// Any array name, preferring non-escaping locals 4:1 over globals
+    /// (globals inevitably share a memory node with loaded pointers).
+    fn some_array(&mut self) -> Option<String> {
+        if !self.arrays.is_empty() && self.rng.gen_bool(0.8) {
+            let i = self.rng.gen_range(0..self.arrays.len());
+            return Some(self.arrays[i].clone());
+        }
+        if !self.globals.is_empty() {
+            let i = self.rng.gen_range(0..self.globals.len());
+            return Some(self.globals[i].clone());
+        }
+        if self.arrays.is_empty() {
+            None
+        } else {
+            let i = self.rng.gen_range(0..self.arrays.len());
+            Some(self.arrays[i].clone())
+        }
+    }
+
+    fn ptr_of_depth(&mut self, depth: u8) -> Option<PtrVar> {
+        let cands: Vec<usize> =
+            (0..self.ptrs.len()).filter(|&i| self.ptrs[i].depth == depth).collect();
+        if cands.is_empty() {
+            return None;
+        }
+        Some(self.ptrs[cands[self.rng.gen_range(0..cands.len())]].clone())
+    }
+
+    fn heap_ptr_of_depth(&mut self, depth: u8) -> Option<PtrVar> {
+        let cands: Vec<usize> = (0..self.ptrs.len())
+            .filter(|&i| self.ptrs[i].depth == depth && self.ptrs[i].heap)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        Some(self.ptrs[cands[self.rng.gen_range(0..cands.len())]].clone())
+    }
+
+    fn stars(depth: u8) -> String {
+        "*".repeat(depth as usize)
+    }
+
+    /// Variables declared inside a nested block go out of scope with it.
+    fn env_snapshot(&self) -> (usize, usize, usize) {
+        (self.scalars.len(), self.arrays.len(), self.ptrs.len())
+    }
+
+    fn env_restore(&mut self, (s, a, p): (usize, usize, usize)) {
+        self.scalars.truncate(s);
+        self.arrays.truncate(a);
+        self.ptrs.truncate(p);
+    }
+
+    /// Declares a depth-`d` pointer and guarantees its validity invariant.
+    fn decl_ptr(&mut self, d: u8) {
+        let name = self.fresh("p");
+        let stars = Self::stars(d);
+        if d == 1 {
+            // &array[c] or malloc or sibling + small offset.
+            let choice = self.rng.gen_range(0..3);
+            if choice == 0 {
+                if let Some(a) = self.some_array() {
+                    let c = self.const_index();
+                    self.line(&format!("int* {name} = &{a}[{c}];"));
+                    self.ptrs.push(PtrVar {
+                        name,
+                        depth: 1,
+                        initialized: true,
+                        slack: ARRAY_SIZE - c,
+                        heap: false,
+                    });
+                    return;
+                }
+            }
+            if choice == 1 {
+                if let Some(p) = self.ptr_of_depth(1) {
+                    let c = self.rng.gen_range(0..2);
+                    if p.slack - c >= SLACK {
+                        self.line(&format!("int* {name} = {} + {c};", p.name));
+                        self.ptrs.push(PtrVar {
+                            name,
+                            depth: 1,
+                            initialized: true,
+                            slack: p.slack - c,
+                            heap: p.heap,
+                        });
+                        return;
+                    }
+                }
+            }
+            if self.sites < 6 {
+                self.sites += 1;
+                self.line(&format!("int* {name} = malloc({ARRAY_SIZE});"));
+                self.ptrs.push(PtrVar {
+                    name,
+                    depth: 1,
+                    initialized: true,
+                    slack: ARRAY_SIZE,
+                    heap: true,
+                });
+            } else if let Some(a) = self.some_array() {
+                let c = self.const_index();
+                self.line(&format!("int* {name} = &{a}[{c}];"));
+                self.ptrs.push(PtrVar {
+                    name,
+                    depth: 1,
+                    initialized: true,
+                    slack: ARRAY_SIZE - c,
+                    heap: false,
+                });
+            }
+        } else {
+            // Deeper pointers come from malloc, then their first SLACK
+            // cells are filled with valid depth-(d-1) pointers.
+            // Build the chain bottom-up so every cell can reuse the level
+            // below — deep chains should not multiply allocation sites
+            // (the paper's Csmith lot averages six sites per program).
+            // Cells only ever hold *heap-backed* pointers: storing an
+            // array-derived pointer would escape the array and cost
+            // BasicAA its locality reasoning.
+            if self.heap_ptr_of_depth(d - 1).is_none() {
+                if self.sites >= 6 {
+                    return; // would need a new site; skip this chain
+                }
+                if d - 1 == 1 {
+                    self.sites += 1;
+                    let below = self.fresh("p");
+                    self.line(&format!("int* {below} = malloc({ARRAY_SIZE});"));
+                    self.ptrs.push(PtrVar {
+                        name: below,
+                        depth: 1,
+                        initialized: true,
+                        slack: ARRAY_SIZE,
+                        heap: true,
+                    });
+                } else {
+                    self.decl_ptr(d - 1);
+                }
+            }
+            let Some(below) = self.heap_ptr_of_depth(d - 1) else { return };
+            if self.sites >= 7 {
+                return;
+            }
+            self.sites += 1;
+            self.line(&format!("int{stars} {name} = malloc({ARRAY_SIZE});"));
+            for c in 0..SLACK {
+                let p = self.heap_ptr_of_depth(d - 1).unwrap_or_else(|| below.clone());
+                self.line(&format!("{name}[{c}] = {};", p.name));
+            }
+            self.ptrs.push(PtrVar {
+                name,
+                depth: d,
+                initialized: true,
+                slack: ARRAY_SIZE,
+                heap: true,
+            });
+        }
+    }
+
+    /// One random statement.
+    fn stmt(&mut self, budget: &mut usize) {
+        if *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        let choice = self.rng.gen_range(0..21);
+        match choice {
+            0 => {
+                let name = self.fresh("s");
+                let e = self.int_expr(0);
+                self.line(&format!("int {name} = {e};"));
+                self.scalars.push(name);
+            }
+            1 => {
+                // Conditional expression (csmith uses them liberally).
+                let name = self.fresh("s");
+                let c = self.int_expr(1);
+                let a = self.int_expr(1);
+                let b2 = self.int_expr(1);
+                self.line(&format!("int {name} = {c} < {a} ? {a} : {b2};"));
+                self.scalars.push(name);
+            }
+            2 if self.sites < 6 => {
+                let name = self.fresh("a");
+                self.line(&format!("int {name}[{ARRAY_SIZE}];"));
+                self.arrays.push(name);
+                self.sites += 1;
+            }
+            3 | 4 => {
+                let d = self.rng.gen_range(1..=self.max_depth.max(1));
+                self.decl_ptr(d);
+            }
+            16..=18 => {
+                // Read an array cell at a constant-valued index.
+                if let Some(a) = self.some_array() {
+                    let name = self.fresh("s");
+                    let c = self.rng.gen_range(0..ARRAY_SIZE);
+                    let ix = self.index_str(c);
+                    self.line(&format!("int {name} = {a}[{ix}];"));
+                    self.scalars.push(name);
+                }
+            }
+            5 | 6 | 12 | 13 | 14 | 15 | 19 | 20 => {
+                // Store to an array cell (constant-valued index).
+                if let Some(a) = self.some_array() {
+                    let c = self.rng.gen_range(0..ARRAY_SIZE);
+                    let e = self.int_expr(0);
+                    let ix = self.index_str(c);
+                    self.line(&format!("{a}[{ix}] = {e};"));
+                }
+            }
+            7 => {
+                // Store through a pointer.
+                if let Some(p) = self.ptr_of_depth(1) {
+                    let c = self.const_index();
+                    let e = self.int_expr(0);
+                    let ix = self.index_str(c);
+                    self.line(&format!("{}[{ix}] = {e};", p.name));
+                }
+            }
+            8 => {
+                // Pull a pointer out of a deeper chain.
+                let d = self.rng.gen_range(2..=self.max_depth.max(2));
+                if let Some(p) = self.ptr_of_depth(d) {
+                    if p.initialized {
+                        let name = self.fresh("p");
+                        let c = self.const_index();
+                        let stars = Self::stars(d - 1);
+                        self.line(&format!("int{stars} {name} = {}[{c}];", p.name));
+                        // Accesses through loaded pointers may-alias every
+                        // escaped object, so one such access merges whole
+                        // memory-node clusters; keep them rare (they also
+                        // are in real Csmith output).
+                        if self.rng.gen_bool(0.25) {
+                            self.ptrs.push(PtrVar {
+                                name,
+                                depth: d - 1,
+                                initialized: true,
+                                slack: SLACK,
+                                heap: true,
+                            });
+                        }
+                    }
+                }
+            }
+            9 if self.loop_depth < 2 => {
+                // A bounded stencil loop over the scratch array.
+                let i = self.fresh("i");
+                let bound = ARRAY_SIZE - 2;
+                self.line(&format!("for (int {i} = 0; {i} < {bound}; {i}++) {{"));
+                self.indent += 1;
+                self.loop_depth += 1;
+                let snapshot = self.env_snapshot();
+                let e = self.int_expr(1);
+                self.line(&format!("scratch[{i}] = scratch[{i} + 1] + {e};"));
+                let mut inner = (*budget).min(2);
+                while inner > 0 && *budget > 0 {
+                    self.stmt(budget);
+                    inner -= 1;
+                }
+                self.env_restore(snapshot);
+                self.loop_depth -= 1;
+                self.indent -= 1;
+                self.line("}");
+            }
+            10 if self.scalars.len() >= 2 => {
+                let i = self.rng.gen_range(0..self.scalars.len());
+                let j = self.rng.gen_range(0..self.scalars.len());
+                let (a, b) = (self.scalars[i].clone(), self.scalars[j].clone());
+                self.line(&format!("if ({a} < {b}) {{"));
+                self.indent += 1;
+                let snapshot = self.env_snapshot();
+                let mut inner = (*budget).min(2);
+                while inner > 0 && *budget > 0 {
+                    self.stmt(budget);
+                    inner -= 1;
+                }
+                self.env_restore(snapshot);
+                self.indent -= 1;
+                self.line("}");
+            }
+            _ => {
+                // Read through a pointer into a fresh scalar.
+                if let Some(p) = self.ptr_of_depth(1) {
+                    let name = self.fresh("s");
+                    let c = self.const_index();
+                    let ix = self.index_str(c);
+                    self.line(&format!("int {name} = {}[{ix}];", p.name));
+                    self.scalars.push(name);
+                }
+            }
+        }
+    }
+}
+
+/// Generates one deterministic Csmith-like program.
+pub fn generate(cfg: CsmithConfig) -> Workload {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E3779B97F4A7C15)),
+        out: String::new(),
+        indent: 0,
+        max_depth: cfg.max_ptr_depth.max(1),
+        globals: Vec::new(),
+        scalars: Vec::new(),
+        arrays: Vec::new(),
+        ptrs: Vec::new(),
+        next_id: 0,
+        loop_depth: 0,
+        sites: 0,
+    };
+
+    // Around six static allocation sites on average, like the paper's lot.
+    let n_globals = 2usize;
+    g.sites = n_globals + 1; // globals + scratch
+    for _ in 0..n_globals {
+        let name = g.fresh("g");
+        let _ = writeln!(g.out, "int {name}[{ARRAY_SIZE}];");
+        g.globals.push(name);
+    }
+    g.out.push('\n');
+
+    g.line("void work() {");
+    g.indent = 1;
+    // The constant-valued index pool (see `index_str`).
+    g.line("    int ib = 1;");
+    for c in 0..ARRAY_SIZE {
+        g.line(&format!("    int ix{c} = ib * {c};"));
+    }
+    // Loops run over a dedicated scratch array: variable-index accesses
+    // would otherwise transitively merge every constant-index class of a
+    // shared array into one memory node (both for us and for LLVM's
+    // AliasSetTracker in the paper's setup).
+    g.line(&format!("    int scratch[{ARRAY_SIZE}];"));
+    let mut budget = cfg.num_stmts;
+    while budget > 0 {
+        g.stmt(&mut budget);
+    }
+    g.indent = 0;
+    g.line("}");
+    g.out.push('\n');
+
+    g.line("int main() {");
+    g.indent = 1;
+    g.line("work();");
+    let g0 = g.globals[0].clone();
+    g.line(&format!("return ({g0}[0] + {g0}[7]) % 256;"));
+    g.indent = 0;
+    g.line("}");
+
+    Workload {
+        name: format!("csmith_d{}_s{}", cfg.max_ptr_depth, cfg.seed),
+        source: std::mem::take(&mut g.out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(CsmithConfig { seed: 7, ..Default::default() });
+        let b = generate(CsmithConfig { seed: 7, ..Default::default() });
+        let c = generate(CsmithConfig { seed: 8, ..Default::default() });
+        assert_eq!(a.source, b.source);
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn all_depths_compile_and_run() {
+        for depth in 2..=7u8 {
+            for seed in 0..5u64 {
+                let w = generate(CsmithConfig { seed, max_ptr_depth: depth, num_stmts: 30 });
+                let m = sraa_minic::compile(&w.source)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", w.name, w.source));
+                let mut interp = sraa_ir::Interpreter::new(&m).with_step_limit(2_000_000);
+                interp
+                    .run("main", &[])
+                    .unwrap_or_else(|e| panic!("{} must not trap: {e:?}\n{}", w.name, w.source));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_programs_mention_deep_pointers() {
+        let mut seen = false;
+        for seed in 0..20 {
+            let w = generate(CsmithConfig { seed, max_ptr_depth: 4, num_stmts: 60 });
+            seen |= w.source.contains("int****");
+        }
+        assert!(seen, "depth-4 chains should appear in at least one of 20 programs");
+    }
+
+    #[test]
+    fn size_scales_with_num_stmts() {
+        let small = generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 10 });
+        let large = generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 200 });
+        assert!(large.source.len() > small.source.len() * 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Optimisation-kernel workloads: memory-access shapes on which the
+//! choice of alias oracle changes what a scalar optimiser can do.
+//!
+//! The SPEC stand-ins of [`spec`](crate::spec) are calibrated against the
+//! paper's `aa-eval` precision table; their memory traffic happens to be
+//! oracle-indifferent for redundant-load/dead-store elimination (loads
+//! are forwarded before any intervening store, or killed for every
+//! oracle alike — `applicability_opt` reports that corpus too, as the
+//! honest negative). The kernels here isolate the shapes where
+//! disambiguation *does* gate the transformation:
+//!
+//! | kernel      | shape                                            | who wins |
+//! |-------------|--------------------------------------------------|----------|
+//! | `reload`    | load `v[i]` after a store to `v[j]`, `i < j`     | LT/PT    |
+//! | `stencil`   | load `v[i]` after a store to `v[i+1]`            | LT/PT    |
+//! | `twobuf`    | load `a[i]` after a store to `b[j]` (two allocs) | BA       |
+//! | `deadstore` | store `v[i]`; read `v[j]`, `i < j`; store `v[i]` | LT/PT    |
+//! | `hoist`     | invariant `v[lo]` load vs stores to `v[i]`, `lo<i`| LT/PT   |
+//! | `optimal`   | re-loads with no intervening store               | anyone   |
+//! | `opaque`    | loads through freshly loaded pointers            | nobody   |
+//!
+//! Each kernel is replicated `scale` times with distinct function names
+//! so per-kernel counts are large enough to compare. All programs have a
+//! `main` that drives every worker on real arrays, so the differential
+//! soundness tests can execute them.
+
+use crate::Workload;
+use std::fmt::Write as _;
+
+/// The kernel families, in report order.
+pub const KERNELS: [&str; 7] =
+    ["reload", "stencil", "twobuf", "deadstore", "hoist", "optimal", "opaque"];
+
+/// Generates one kernel workload with `scale` replicated workers.
+///
+/// # Panics
+///
+/// Panics if `kernel` is not one of [`KERNELS`].
+pub fn generate(kernel: &str, scale: usize) -> Workload {
+    let body = match kernel {
+        "reload" => worker_reload,
+        "stencil" => worker_stencil,
+        "twobuf" => worker_twobuf,
+        "deadstore" => worker_deadstore,
+        "hoist" => worker_hoist,
+        "optimal" => worker_optimal,
+        "opaque" => worker_opaque,
+        other => panic!("unknown optimisation kernel {other:?}"),
+    };
+    let mut src = String::new();
+    for k in 0..scale {
+        body(&mut src, k);
+    }
+    // Drive every worker so the programs execute end to end.
+    src.push_str("int main() {\n  int acc = 0;\n");
+    for k in 0..scale {
+        let _ = writeln!(src, "  int buf{k}[24];");
+        let _ = writeln!(src, "  for (int z = 0; z < 24; z++) buf{k}[z] = z * 3 + {k};");
+        let _ = writeln!(src, "  acc = acc + w{k}(buf{k}, 23);");
+    }
+    src.push_str("  return acc % 256;\n}\n");
+    Workload { name: format!("optk-{kernel}"), source: src }
+}
+
+/// All kernels at the given scale.
+pub fn all(scale: usize) -> Vec<Workload> {
+    KERNELS.iter().map(|k| generate(k, scale)).collect()
+}
+
+/// Load of `v[i]` after a store to `v[j]` with `i < j` maintained by the
+/// paired loop header — the paper's Figure 1 pattern turned into a
+/// forwarding opportunity.
+fn worker_reload(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int s = 0;
+    for (int i = 0, j = N; i < j; i++, j--) {{
+        int x = v[i];
+        v[j] = x + 1;
+        s = s + v[i];
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+/// `v[i+1] = f(v[i])` then re-read `v[i]`: the offsets differ by one,
+/// which only an ordering (or symbolic-difference) analysis can see.
+fn worker_stencil(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int s = 0;
+    for (int i = 0; i + 1 < N; i++) {{
+        int x = v[i];
+        v[i + 1] = x / 2 + 1;
+        s = s + v[i];
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+/// Reload after a store to a *different allocation*: allocation-site
+/// reasoning (BA) already keeps the fact; ordering adds nothing.
+fn worker_twobuf(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int b[16];
+    int s = 0;
+    for (int i = 0; i < N; i++) {{
+        int x = v[i];
+        b[i % 16] = x;
+        s = s + v[i];
+    }}
+    return s + b[0];
+}}
+"#
+    );
+}
+
+/// Double store to `v[i]` with an intervening read of `v[j]`, `i < j`:
+/// the first store is dead only if the read provably misses it.
+fn worker_deadstore(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int s = 0;
+    for (int i = 0, j = N; i < j; i++, j--) {{
+        v[i] = 1;
+        s = s + v[j];
+        v[i] = s;
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+/// Loop-invariant load of `v[lo]` against stores to `v[i]` walking
+/// upward from `lo + 1`: hoisting out of the loop needs `lo < i`.
+fn worker_hoist(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int lo = N / 8;
+    int s = 0;
+    for (int i = lo + 1; i < N; i++) {{
+        v[i] = i;
+        s = s + v[lo];
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+/// Re-loads with no intervening store: even the pessimistic oracle
+/// forwards these (the floor every configuration shares).
+fn worker_optimal(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int s = 0;
+    for (int i = 0; i < N; i++) {{
+        s = s + v[i];
+        s = s + v[i];
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+/// Loads through a freshly loaded "pointer" (an opaque index): no oracle
+/// can forward across the intervening store (the shared ceiling).
+fn worker_opaque(src: &mut String, k: usize) {
+    let _ = write!(
+        src,
+        r#"
+int w{k}(int* v, int N) {{
+    int s = 0;
+    for (int i = 0; i < N; i++) {{
+        int t = v[i];
+        v[t % N] = t;
+        s = s + v[i];
+    }}
+    return s;
+}}
+"#
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_compile() {
+        for w in all(2) {
+            sraa_minic::compile(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", w.name, w.source));
+        }
+    }
+
+    #[test]
+    fn kernels_execute_deterministically() {
+        for w in all(2) {
+            let m = sraa_minic::compile(&w.source).unwrap();
+            let r1 = sraa_ir::Interpreter::new(&m).run("main", &[]).expect("run").result;
+            let r2 = sraa_ir::Interpreter::new(&m).run("main", &[]).expect("run").result;
+            assert_eq!(r1, r2, "{}", w.name);
+            assert!(r1.is_some(), "{} must return a value", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_replicates_workers() {
+        let w = generate("reload", 5);
+        assert_eq!(w.source.matches("int w").count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown optimisation kernel")]
+    fn unknown_kernel_panics() {
+        let _ = generate("nope", 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The synthetic "LLVM test-suite": a ladder of 100 benchmarks.
+//!
+//! The paper's Figure 8 plots, for the 100 largest benchmarks of the LLVM
+//! test suite, the total number of alias queries and the `no-alias`
+//! answers of LT, BA and BA+LT, with query counts spanning several orders
+//! of magnitude (its extremes: McCat's `qbsort` at 3,351 queries and
+//! MiBench's `consumer-typeset` at ~3·10⁸).
+//!
+//! [`test_suite`] regenerates that population: `n` deterministic programs
+//! whose sizes grow geometrically and whose pattern mix rotates through
+//! five families (array kernels, sorters, pointer walkers,
+//! allocation-heavy object code, pointer-chasing code), so the suite
+//! contains both LT-favourable and BA-favourable members at every size.
+
+use crate::csmith::{self, CsmithConfig};
+use crate::spec::{self, Profile};
+use crate::Workload;
+
+/// Generates the `n`-benchmark synthetic test suite (100 for Figure 8).
+pub fn test_suite(n: usize) -> Vec<Workload> {
+    (0..n)
+        .map(|k| {
+            // Sizes span ~2.5 decades via the replication factor.
+            let scale = 1 + (k * k) / 300 + k / 8;
+            let family = k % 5;
+            let p = match family {
+                0 => Profile {
+                    name: "array-kernel",
+                    stencil: 2,
+                    walk: 1,
+                    sites: 1,
+                    chase: 1,
+                    scale,
+                    ..Default::default()
+                },
+                1 => Profile {
+                    name: "sorter",
+                    sorted: 2,
+                    sites: 1,
+                    chase: 1,
+                    calls: 1,
+                    scale,
+                    ..Default::default()
+                },
+                2 => Profile {
+                    name: "walker",
+                    walk: 2,
+                    chain: 1,
+                    sites: 1,
+                    chase: 1,
+                    scale,
+                    ..Default::default()
+                },
+                3 => Profile {
+                    name: "objects",
+                    sites: 4,
+                    cstencil: 1,
+                    chase: 1,
+                    scale,
+                    ..Default::default()
+                },
+                _ => Profile {
+                    name: "chaser",
+                    stencil: 1,
+                    sites: 1,
+                    chase: 4,
+                    calls: 1,
+                    scale,
+                    ..Default::default()
+                },
+            };
+            let mut w = spec::generate(&p);
+            w.name = format!("suite{k:03}_{}", p.name);
+            w
+        })
+        .collect()
+}
+
+/// The 120 Csmith-like programs of the paper's Figure 12: 20 programs per
+/// pointer nesting depth, depths 2 through 7, sizes varying with the seed.
+pub fn csmith_figure12() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(120);
+    for depth in 2..=7u8 {
+        for k in 0..20u64 {
+            out.push(csmith::generate(CsmithConfig {
+                seed: depth as u64 * 1000 + k,
+                max_ptr_depth: depth,
+                num_stmts: 60 + (k as usize) * 14, // ~80 to ~4000 source lines
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_benchmarks_with_growing_sizes() {
+        let ws = test_suite(100);
+        assert_eq!(ws.len(), 100);
+        assert!(ws[99].source.len() > ws[0].source.len() * 4);
+        // Names are unique.
+        let names: std::collections::HashSet<_> = ws.iter().map(|w| &w.name).collect();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn sample_of_suite_compiles() {
+        for k in [0usize, 33, 66, 99] {
+            let ws = test_suite(100);
+            sraa_minic::compile(&ws[k].source)
+                .unwrap_or_else(|e| panic!("{}: {e}", ws[k].name));
+        }
+    }
+
+    #[test]
+    fn figure12_population_is_120() {
+        let ws = csmith_figure12();
+        assert_eq!(ws.len(), 120);
+        assert_eq!(ws.iter().filter(|w| w.name.starts_with("csmith_d7")).count(), 20);
+    }
+}

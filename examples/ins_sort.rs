@@ -1,0 +1,86 @@
+//! The paper's Figure 1 (a): insertion sort.
+//!
+//! Runs the full analysis pipeline over `ins_sort`, queries every pair of
+//! memory accesses under BA, LT and BA+LT, prints the verdict matrix, and
+//! finally *executes* the program under the IR interpreter to show the
+//! code still sorts after the e-SSA transformation.
+//!
+//! Run with `cargo run --example ins_sort`.
+
+use sraa::alias::{AaEval, AliasAnalysis, AliasResult, BasicAliasAnalysis, Combined, StrictInequalityAa};
+use sraa::ir::{InstKind, Interpreter};
+
+const SOURCE: &str = r#"
+void ins_sort(int* v, int N) {
+    int i; int j;
+    for (i = 0; i < N - 1; i++) {
+        for (j = i + 1; j < N; j++) {
+            if (v[i] > v[j]) {
+                int tmp = v[i];
+                v[i] = v[j];
+                v[j] = tmp;
+            }
+        }
+    }
+}
+int main() {
+    int v[10];
+    for (int k = 0; k < 10; k++) v[k] = (7 * k + 3) % 10;
+    ins_sort(v, 10);
+    int ok = 1;
+    for (int k = 0; k + 1 < 10; k++) if (v[k] > v[k + 1]) ok = 0;
+    return ok;
+}
+"#;
+
+fn main() {
+    let mut module = sraa::minic::compile(SOURCE).expect("valid MiniC");
+    let lt = StrictInequalityAa::new(&mut module);
+    let ba = BasicAliasAnalysis::new(&module);
+    let both = Combined::new(vec![
+        Box::new(BasicAliasAnalysis::new(&module)),
+        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
+    ]);
+
+    let fid = module.function_by_name("ins_sort").unwrap();
+    let f = module.function(fid);
+    let mut accesses = Vec::new();
+    for b in f.block_ids() {
+        for (_, data) in f.block_insts(b) {
+            match data.kind {
+                InstKind::Load { ptr } => accesses.push(("load", ptr)),
+                InstKind::Store { ptr, .. } => accesses.push(("store", ptr)),
+                _ => {}
+            }
+        }
+    }
+    println!("memory accesses in ins_sort: {}", accesses.len());
+    println!("\npairwise verdicts (BA / LT / BA+LT):");
+    for (i, &(k1, p1)) in accesses.iter().enumerate() {
+        for &(k2, p2) in accesses.iter().skip(i + 1) {
+            let v = |aa: &dyn AliasAnalysis| match aa.alias(&module, fid, p1, p2) {
+                AliasResult::NoAlias => "no ",
+                AliasResult::MayAlias => "may",
+                AliasResult::MustAlias => "must",
+            };
+            println!("  {k1:<5} {p1} vs {k2:<5} {p2}:   {} / {} / {}", v(&ba), v(&lt), v(&both));
+        }
+    }
+
+    let summaries = AaEval::run(&module, &[&ba, &lt, &both]);
+    println!("\naa-eval over the whole module (all pointer pairs):");
+    for s in &summaries {
+        println!(
+            "  {:<6} no-alias {:>4}  may {:>4}  must {:>3}  ({:.1}% no-alias)",
+            s.name,
+            s.no_alias,
+            s.may_alias,
+            s.must_alias,
+            s.no_alias_rate()
+        );
+    }
+
+    let result = Interpreter::new(&module).run("main", &[]).expect("runs");
+    println!("\nexecution: sorted = {} (steps: {})", result.result == Some(1), result.steps);
+    assert_eq!(result.result, Some(1));
+}

@@ -1,0 +1,102 @@
+//! Alias precision turned into removed instructions.
+//!
+//! The paper's §2 motivates disambiguation with the optimisations it
+//! unlocks. This example runs three classic memory optimisations —
+//! redundant-load elimination, dead-store elimination and loop-invariant
+//! load motion (`sraa::opt`) — over one kernel twice: once driven by
+//! LLVM-basic-aa-style heuristics (BA), once by BA chained with the
+//! paper's strict-inequality analysis (BA+LT), and shows the executed
+//! memory traffic shrink.
+//!
+//! Run with `cargo run --example optimize`.
+
+use sraa::alias::{AliasAnalysis, BasicAliasAnalysis, Combined, StrictInequalityAa};
+use sraa::ir::{Frame, Interpreter, Module, Observer, Value};
+use sraa::opt::{
+    eliminate_dead_stores, eliminate_redundant_loads, hoist_invariant_loads, OptStats,
+};
+
+/// The loop walks `v[i]` upward while re-reading `v[lo]` and `v[i]`:
+/// every redundancy is guarded by an ordering fact (`lo < i`, `i < j`).
+const KERNEL: &str = r#"
+    int kernel(int* v, int N) {
+        int lo = N / 8;
+        int s = 0;
+        for (int i = lo + 1, j = N; i < j; i++, j--) {
+            int x = v[i];
+            v[j] = x + 1;
+            s = s + v[i];
+            s = s + v[lo];
+        }
+        return s;
+    }
+    int main() {
+        int a[32];
+        for (int k = 0; k < 32; k++) a[k] = k;
+        return kernel(a, 24);
+    }
+"#;
+
+#[derive(Default)]
+struct MemCounter {
+    loads: u64,
+    stores: u64,
+}
+
+impl Observer for MemCounter {
+    fn on_access(&mut self, _f: &Frame, _i: Value, _a: i64, is_store: bool) {
+        if is_store {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+    }
+}
+
+fn execute(module: &Module) -> (Option<i64>, u64, u64) {
+    let mut mem = MemCounter::default();
+    let trace = Interpreter::new(module)
+        .run_observed("main", &[], &mut mem)
+        .expect("kernel executes");
+    (trace.result, mem.loads, mem.stores)
+}
+
+fn optimise(with_lt: bool) -> (OptStats, Option<i64>, u64, u64) {
+    let mut module = sraa::minic::compile(KERNEL).expect("valid MiniC");
+    let lt = StrictInequalityAa::new(&mut module); // e-SSA conversion
+    let aa: Box<dyn AliasAnalysis> = if with_lt {
+        Box::new(Combined::new(vec![
+            Box::new(BasicAliasAnalysis::new(&module)),
+            Box::new(lt),
+        ]))
+    } else {
+        Box::new(BasicAliasAnalysis::new(&module))
+    };
+    let mut stats = eliminate_redundant_loads(&mut module, aa.as_ref());
+    stats += eliminate_dead_stores(&mut module, aa.as_ref());
+    stats += hoist_invariant_loads(&mut module, aa.as_ref());
+    sraa::ir::verify(&module).expect("optimised module verifies");
+    let (result, loads, stores) = execute(&module);
+    (stats, result, loads, stores)
+}
+
+fn main() {
+    let baseline = sraa::minic::compile(KERNEL).expect("valid MiniC");
+    let (want, loads0, stores0) = execute(&baseline);
+    println!("unoptimised:  result={want:?}  executed {loads0} loads, {stores0} stores");
+
+    for (label, with_lt) in [("BA", false), ("BA+LT", true)] {
+        let (stats, got, loads, stores) = optimise(with_lt);
+        assert_eq!(got, want, "optimisation must preserve the result");
+        println!(
+            "{label:<6}: forwarded {} loads, killed {} stores, hoisted {} loads \
+             -> executed {loads} loads, {stores} stores",
+            stats.loads_eliminated, stats.stores_eliminated, stats.loads_hoisted
+        );
+    }
+
+    println!();
+    println!("BA sees two variable offsets into one array and must assume");
+    println!("interference; the strict-inequality analysis proves lo < i < j,");
+    println!("so the stores to v[j] cannot kill the facts for v[i] and v[lo].");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: disambiguate the paper's motivating loop.
+//!
+//! ```text
+//! for (i = 0, j = N; i < j; i++, j--) v[i] = v[j];
+//! ```
+//!
+//! Interval analyses cannot separate `v[i]` from `v[j]` (the ranges of
+//! `i` and `j` overlap); the strict less-than analysis proves `i < j`
+//! wherever both are alive, so the two locations never alias.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sraa::alias::{AliasAnalysis, AliasResult, BasicAliasAnalysis, StrictInequalityAa};
+use sraa::ir::InstKind;
+
+fn main() {
+    let source = r#"
+        void swap_mirror(int* v, int N) {
+            for (int i = 0, j = N; i < j; i++, j--) v[i] = v[j];
+        }
+    "#;
+
+    // 1. Compile MiniC to SSA IR.
+    let mut module = sraa::minic::compile(source).expect("valid MiniC");
+
+    // 2. Run the paper's pipeline (this converts the module to e-SSA form:
+    //    σ-copies at the `i < j` branch, live-range splits at `j--`).
+    let lt = StrictInequalityAa::new(&mut module);
+    let ba = BasicAliasAnalysis::new(&module);
+
+    // 3. Find the two memory accesses.
+    let fid = module.function_by_name("swap_mirror").unwrap();
+    let f = module.function(fid);
+    let mut load = None;
+    let mut store = None;
+    for b in f.block_ids() {
+        for (_, data) in f.block_insts(b) {
+            match data.kind {
+                InstKind::Load { ptr } => load = Some(ptr),
+                InstKind::Store { ptr, .. } => store = Some(ptr),
+                _ => {}
+            }
+        }
+    }
+    let (vj, vi) = (load.unwrap(), store.unwrap());
+
+    // 4. Ask both analyses.
+    let verdict = |aa: &dyn AliasAnalysis| match aa.alias(&module, fid, vi, vj) {
+        AliasResult::NoAlias => "no-alias",
+        AliasResult::MayAlias => "may-alias",
+        AliasResult::MustAlias => "must-alias",
+    };
+    println!("query: v[i] vs v[j] in `swap_mirror`");
+    println!("  basic-aa (BA):            {}", verdict(&ba));
+    println!("  strict inequalities (LT): {}", verdict(&lt));
+    assert_eq!(lt.alias(&module, fid, vi, vj), AliasResult::NoAlias);
+    println!("\nLT proves i < j at every program point where both are alive,");
+    println!("so the compiler may reorder or parallelise the loop body.");
+}

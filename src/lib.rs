@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the sraa public API.
+pub use sraa_alias as alias;
+pub use sraa_core as lt;
+pub use sraa_essa as essa;
+pub use sraa_ir as ir;
+pub use sraa_minic as minic;
+pub use sraa_opt as opt;
+pub use sraa_pdg as pdg;
+pub use sraa_pentagon as pentagon;
+pub use sraa_range as range;
+pub use sraa_synth as synth;

@@ -1,0 +1,259 @@
+//! Additional cross-cutting behaviour tests: frontend corner cases,
+//! interpreter semantics, range refinement on the new syntax forms, and
+//! query-surface edge cases.
+
+use sraa_alias::{AliasAnalysis, AliasResult, BasicAliasAnalysis, StrictInequalityAa};
+use sraa_ir::{InstKind, Interpreter, Type};
+
+fn run(src: &str) -> i64 {
+    let m = sraa_minic::compile(src).unwrap();
+    Interpreter::new(&m).run("main", &[]).unwrap().result.unwrap()
+}
+
+#[test]
+fn pointer_difference_is_element_scaled() {
+    assert_eq!(
+        run("int main() { int a[10]; int* p = &a[2]; int* q = &a[7]; return q - p; }"),
+        5
+    );
+}
+
+#[test]
+fn pointer_comparisons_follow_layout() {
+    assert_eq!(
+        run(r#"
+        int main() {
+            int a[10];
+            int* p = &a[2];
+            int* q = &a[7];
+            int lt = p < q;
+            int le = q <= q;
+            int gt = q > p;
+            return lt * 100 + le * 10 + gt;
+        }"#),
+        111
+    );
+}
+
+#[test]
+fn negative_indices_via_pointer_midpoint() {
+    assert_eq!(
+        run(r#"
+        int main() {
+            int a[10];
+            a[1] = 77;
+            int* mid = &a[5];
+            return mid[-4];
+        }"#),
+        77
+    );
+}
+
+#[test]
+fn deep_recursion_hits_the_stack_guard() {
+    let m = sraa_minic::compile(
+        "int f(int n) { return f(n + 1); } int main() { return f(0); }",
+    )
+    .unwrap();
+    let err = Interpreter::new(&m).run("main", &[]).unwrap_err();
+    assert!(matches!(
+        err,
+        sraa_ir::ExecError::StackOverflow | sraa_ir::ExecError::StepLimit
+    ));
+}
+
+#[test]
+fn modulo_and_division_semantics_match_rust() {
+    assert_eq!(run("int main() { return (0 - 7) % 3; }"), -7 % 3);
+    assert_eq!(run("int main() { return (0 - 7) / 2; }"), -7 / 2);
+}
+
+#[test]
+fn range_refines_do_while_counters() {
+    // In `do { i-- } while (i > 0)`, the σ on the back edge bounds i.
+    let mut m = sraa_minic::compile(
+        r#"
+        int f(int n) {
+            int i = n;
+            do { i--; } while (i > 0);
+            return i;
+        }
+        int main() { return f(10); }
+        "#,
+    )
+    .unwrap();
+    let (ranges, _) = sraa_essa::transform_module(&mut m);
+    let fid = m.function_by_name("f").unwrap();
+    let f = m.function(fid);
+    // The returned value flows from the σ-copy on the false edge of
+    // (i > 0): its range must have an upper bound of 0.
+    let mut ret_val = None;
+    for b in f.block_ids() {
+        if let Some(t) = f.terminator(b) {
+            if let InstKind::Ret(Some(v)) = f.inst(t).kind {
+                ret_val = Some(v);
+            }
+        }
+    }
+    let iv = ranges.range(fid, ret_val.unwrap());
+    assert_eq!(
+        iv.hi(),
+        sraa_range::Bound::Fin(0),
+        "¬(i > 0) pins the exit value at ≤ 0: {iv}"
+    );
+}
+
+#[test]
+fn ternary_derived_pointers_are_analysable() {
+    // LT sees through the φ the ternary introduces: both arms are + of
+    // positive constants, so v < p holds on both and survives rule 4.
+    let mut m = sraa_minic::compile(
+        r#"
+        int f(int* v, int c) {
+            int* p = c < 0 ? v + 1 : v + 2;
+            *p = 5;
+            *v = 7;
+            return *p;
+        }
+        int main() { int a[4]; return f(a, -1); }
+        "#,
+    )
+    .unwrap();
+    let lt = StrictInequalityAa::new(&mut m);
+    let fid = m.function_by_name("f").unwrap();
+    let f = m.function(fid);
+    let mut stores = Vec::new();
+    for b in f.block_ids() {
+        for (_, d) in f.block_insts(b) {
+            if let InstKind::Store { ptr, .. } = d.kind {
+                stores.push(ptr);
+            }
+        }
+    }
+    assert_eq!(
+        lt.alias(&m, fid, stores[0], stores[1]),
+        AliasResult::NoAlias,
+        "v < φ(v+1, v+2) by rule 2 + rule 4"
+    );
+}
+
+#[test]
+fn cross_function_relation_is_queryable() {
+    let mut m = sraa_minic::compile(
+        r#"
+        int g(int x) { return x; }
+        int main() {
+            int a = input();
+            int b = a + 1;
+            return g(b);
+        }
+        "#,
+    )
+    .unwrap();
+    let lt = StrictInequalityAa::new(&mut m);
+    let main_id = m.function_by_name("main").unwrap();
+    let g_id = m.function_by_name("g").unwrap();
+    // Find `a` (the Opaque) in main and x (the param) in g.
+    let main_f = m.function(main_id);
+    let mut a = None;
+    for bb in main_f.block_ids() {
+        for (v, d) in main_f.block_insts(bb) {
+            if matches!(d.kind, InstKind::Opaque) {
+                a = Some(v);
+            }
+        }
+    }
+    let x = m.function(g_id).param_value(0);
+    assert!(
+        lt.analysis().less_than_cross(main_id, a.unwrap(), g_id, x),
+        "caller's a flows into LT(g::x) through the pseudo-φ (a < a+1 = arg)"
+    );
+}
+
+#[test]
+fn frontend_error_paths_are_reported() {
+    for (src, needle) in [
+        ("int main() { int* p; return p + q; }", "unknown variable"),
+        ("int main() { return *5; }", "dereference"),
+        ("int f(int x) { x(); return 0; }", "unknown function"),
+        ("int main() { int a[2]; a = 3; return 0; }", "cannot assign to array"),
+        ("int main() { return &0; }", "not assignable"),
+        ("void f() { return 3; }", "void function returns"),
+        ("int main() { continue; }", "continue outside loop"),
+        ("int f(int* p) { return p * 2; }", "invalid operands"),
+        ("int main() { int x = malloc(4); return x; }", "malloc"),
+    ] {
+        let e = sraa_minic::compile(src).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "`{src}` should fail with `{needle}`, got `{}`",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn basic_aa_handles_copies_through_essa() {
+    // After the transform, σ-copies wrap pointer values; BA's
+    // decomposition must see through them.
+    let mut m = sraa_minic::compile(
+        r#"
+        int f(int* p, int* q, int n) {
+            int a[4];
+            if (p < q) { a[0] = *p; }
+            return a[0];
+        }
+        int main() { int x[2]; int y[2]; return f(x, y, 1); }
+        "#,
+    )
+    .unwrap();
+    let _lt = StrictInequalityAa::new(&mut m); // puts module in e-SSA form
+    let ba = BasicAliasAnalysis::new(&m);
+    let fid = m.function_by_name("f").unwrap();
+    let f = m.function(fid);
+    let mut ptrs = Vec::new();
+    for b in f.block_ids() {
+        for (_, d) in f.block_insts(b) {
+            match d.kind {
+                InstKind::Load { ptr } => ptrs.push(ptr),
+                InstKind::Store { ptr, .. } => ptrs.push(ptr),
+                _ => {}
+            }
+        }
+    }
+    // a[0] store vs *p load: non-escaping local vs parameter, even though
+    // *p happens through a σ-copy of p.
+    let verdicts: Vec<AliasResult> = ptrs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &x)| ptrs.iter().skip(i + 1).map(move |&y| (x, y)))
+        .map(|(x, y)| ba.alias(&m, fid, x, y))
+        .collect();
+    assert!(
+        verdicts.contains(&AliasResult::NoAlias),
+        "the local array and the parameter must be separated: {verdicts:?}"
+    );
+}
+
+#[test]
+fn opaque_pointers_are_dereferenceable_and_clustered() {
+    // All inptr() values land in one 64-cell external buffer: they are
+    // dereferenceable and close together (so may truly alias), and the
+    // analyses answer MayAlias.
+    let m = sraa_minic::compile(
+        r#"
+        int main() {
+            int* a = inptr();
+            int* b = inptr();
+            a[0] = 5;
+            int d = a - b;
+            int near = d < 64 && 0 - 64 < d;
+            return near;
+        }
+        "#,
+    )
+    .unwrap();
+    let t = Interpreter::new(&m).run("main", &[]).unwrap();
+    assert_eq!(t.result, Some(1), "opaque pointers cluster in one buffer");
+    let _ = Type::Ptr(1);
+}

@@ -1,0 +1,92 @@
+//! End-to-end differential test of the two constraint solvers.
+//!
+//! The paper's §6 leaves solver speed as an open problem;
+//! `sraa_core::solve_fast` (SCC condensation, see DESIGN.md §"Beyond the
+//! paper") answers it. Here both solvers run on the *real* constraint
+//! systems of the evaluation corpus — all 16 calibrated SPEC workloads
+//! plus a population of Csmith-style random programs — and must produce
+//! identical less-than sets for every variable.
+
+use sraa_core::{generate, solve, solve_fast, GenConfig};
+use sraa_synth::{csmith_generate, spec_all, CsmithConfig};
+
+fn assert_solvers_agree(source: &str, name: &str) {
+    let mut module = sraa_minic::compile(source)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let (ranges, _) = sraa_essa::transform_module(&mut module);
+    let sys = generate(&module, &ranges, GenConfig::default());
+
+    let base = solve(&sys.constraints, sys.num_vars);
+    let fast = solve_fast(&sys.constraints, sys.num_vars);
+
+    for x in 0..sys.num_vars {
+        assert_eq!(
+            base.lt_set(x),
+            fast.lt_set(x),
+            "{name}: solvers disagree on variable {x}"
+        );
+    }
+    assert_eq!(
+        base.stats.frozen_tops, fast.stats.frozen_tops,
+        "{name}: frozen-⊤ counts differ"
+    );
+    assert!(
+        fast.stats.evals <= base.stats.pops,
+        "{name}: fast solver did more work ({} evals vs {} pops)",
+        fast.stats.evals,
+        base.stats.pops
+    );
+}
+
+#[test]
+fn solvers_agree_on_all_spec_workloads() {
+    for w in spec_all() {
+        assert_solvers_agree(&w.source, &w.name);
+    }
+}
+
+#[test]
+fn solvers_agree_on_csmith_population() {
+    for seed in 0..24 {
+        let cfg = CsmithConfig {
+            seed: 9_000 + seed,
+            max_ptr_depth: (2 + seed % 6) as u8,
+            num_stmts: 30 + (seed as usize % 4) * 15,
+        };
+        let w = csmith_generate(cfg);
+        assert_solvers_agree(&w.source, &w.name);
+    }
+}
+
+#[test]
+fn solvers_agree_on_figure_1_programs() {
+    let ins_sort = r#"
+        void ins_sort(int* v, int N) {
+            for (int i = 0; i < N - 1; i++) {
+                for (int j = i + 1; j < N; j++) {
+                    if (v[i] > v[j]) {
+                        int tmp = v[i];
+                        v[i] = v[j];
+                        v[j] = tmp;
+                    }
+                }
+            }
+        }
+    "#;
+    let partition = r#"
+        void partition(int* v, int N) {
+            int i; int j; int p; int tmp;
+            p = v[N / 2];
+            for (i = 0, j = N - 1;; i++, j--) {
+                while (v[i] < p) i++;
+                while (p < v[j]) j--;
+                if (i >= j) break;
+                tmp = v[i];
+                v[i] = v[j];
+                v[j] = tmp;
+            }
+        }
+    "#;
+    assert_solvers_agree(ins_sort, "fig1a-ins_sort");
+    assert_solvers_agree(partition, "fig1b-partition");
+}

@@ -1,0 +1,158 @@
+//! Shape assertions for the headline results of the paper's evaluation.
+//!
+//! We do not (and cannot) match the paper's absolute numbers — the
+//! substrate is a synthetic workload suite, not SPEC on the authors'
+//! testbed — but the *shape* of every headline claim must hold:
+//! who wins, on which benchmark families, and by roughly what factor.
+//! DESIGN.md's per-experiment index lists the mapping.
+
+use sraa_bench::Prepared;
+
+fn rates(name: &str) -> (f64, f64, f64, u64) {
+    let w = sraa_synth::spec_generate_by_name(name).unwrap();
+    let p = Prepared::new(&w);
+    let out = p.eval(&[&p.ba, &p.lt, &p.ba_plus_lt()]);
+    (out[0].no_alias_rate(), out[1].no_alias_rate(), out[2].no_alias_rate(), out[0].total())
+}
+
+/// Paper §1/§4.1: "in SPEC's lbm we disambiguate 11,881 pairs of pointers,
+/// whereas BA provides precise answers to only 1,888" — LT must clearly
+/// beat BA on lbm, and both must be low in absolute terms.
+#[test]
+fn lbm_lt_beats_ba() {
+    let (ba, lt, both, _) = rates("lbm");
+    assert!(lt > ba * 1.3, "lbm: LT ({lt:.1}%) must dominate BA ({ba:.1}%)");
+    assert!(ba < 15.0 && lt < 20.0, "both low on lbm: BA {ba:.1}%, LT {lt:.1}%");
+    assert!(both > ba + 8.0, "the combination must add most of LT's wins");
+}
+
+/// Paper §1: "our less-than check increases the success rate of LLVM's
+/// basic disambiguation heuristic from 48.12% to 64.19% in SPEC's gobmk"
+/// — a gain of ~16 percentage points on a benchmark where both are strong.
+#[test]
+fn gobmk_combination_gains_double_digits() {
+    let (ba, lt, both, _) = rates("gobmk");
+    assert!((40.0..60.0).contains(&ba), "gobmk BA in the paper's band: {ba:.1}%");
+    assert!(lt > 15.0, "gobmk LT contributes a large, mostly disjoint set: {lt:.1}%");
+    assert!(both - ba >= 10.0, "BA+LT − BA ≥ 10pp on gobmk: {both:.1} vs {ba:.1}");
+}
+
+/// Paper Figure 9 highlights exactly lbm, milc, bzip2 and gobmk (≥10%
+/// relative precision increase).
+#[test]
+fn exactly_the_papers_four_benchmarks_are_highlighted() {
+    let mut flagged = Vec::new();
+    for p in sraa_synth::spec_profiles() {
+        let (ba, _, both, _) = rates(p.name);
+        if (both - ba) / ba.max(1e-9) >= 0.10 {
+            flagged.push(p.name.to_string());
+        }
+    }
+    assert_eq!(flagged, vec!["lbm", "milc", "bzip2", "gobmk"]);
+}
+
+/// Paper Figure 9: dealII has high BA precision and high LT precision but
+/// almost no combination gain — the two populations overlap there.
+#[test]
+fn dealii_lt_overlaps_ba() {
+    let (ba, lt, both, _) = rates("dealII");
+    assert!(ba > 60.0, "dealII BA is the strongest row: {ba:.1}%");
+    assert!(lt > 12.0, "dealII LT is substantial: {lt:.1}%");
+    assert!(both - ba < 2.0, "…but almost fully subsumed by BA: {both:.1} vs {ba:.1}");
+}
+
+/// Paper Figure 9: namd/omnetpp are the weakest LT rows (< 1%).
+#[test]
+fn pointer_chasing_benchmarks_defeat_lt() {
+    for name in ["namd", "omnetpp"] {
+        let (_, lt, _, _) = rates(name);
+        assert!(lt < 2.0, "{name}: LT must be near-useless ({lt:.2}%)");
+    }
+}
+
+/// Query counts must be ordered like the paper's table: lbm smallest,
+/// gcc largest, with several orders of magnitude in between.
+#[test]
+fn query_counts_span_the_table() {
+    let (_, _, _, q_lbm) = rates("lbm");
+    let (_, _, _, q_gcc) = rates("gcc");
+    assert!(q_lbm * 10 < q_gcc, "gcc ({q_gcc}) ≫ lbm ({q_lbm})");
+}
+
+/// Paper Figure 10 + §4.1: BA+CF is three times more precise than BA+LT
+/// on omnetpp, while BA+LT wins by a wide margin on lbm/milc/gobmk —
+/// "these analyses are complementary".
+#[test]
+fn figure10_complementarity() {
+    // omnetpp: CF wins ~3×.
+    let w = sraa_synth::spec_generate_by_name("omnetpp").unwrap();
+    let p = Prepared::new(&w);
+    let out = p.eval(&[&p.ba_plus_lt(), &p.ba_plus_cf()]);
+    let ratio = out[1].no_alias_rate() / out[0].no_alias_rate();
+    assert!(
+        (2.0..4.5).contains(&ratio),
+        "omnetpp: BA+CF / BA+LT ≈ 3 (paper), got {ratio:.2}"
+    );
+
+    // lbm/milc/gobmk: LT wins by > 20%.
+    for name in ["lbm", "milc", "gobmk"] {
+        let w = sraa_synth::spec_generate_by_name(name).unwrap();
+        let p = Prepared::new(&w);
+        let out = p.eval(&[&p.ba_plus_lt(), &p.ba_plus_cf()]);
+        assert!(
+            out[0].no_alias_rate() > out[1].no_alias_rate() * 1.2,
+            "{name}: BA+LT must beat BA+CF by >20%: {:.1} vs {:.1}",
+            out[0].no_alias_rate(),
+            out[1].no_alias_rate()
+        );
+    }
+}
+
+/// Paper §4.2: constraints are linear in instructions (R² = 0.992 there).
+#[test]
+fn constraint_generation_is_linear() {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for w in sraa_synth::test_suite(30) {
+        let p = Prepared::new(&w);
+        xs.push(p.stats.instructions as f64);
+        ys.push(p.lt.analysis().stats().constraints as f64);
+    }
+    let r2 = sraa_bench::r_squared(&xs, &ys);
+    assert!(r2 > 0.9, "R² = {r2:.4} must indicate linearity");
+}
+
+/// Paper §4.2: each constraint is popped ~2.12 times; over 95% of the LT
+/// sets carry ≤ 2 elements.
+#[test]
+fn solver_behaves_linearly_in_practice() {
+    let mut pops = 0u64;
+    let mut constraints = 0u64;
+    let mut small = 0usize;
+    let mut total = 0usize;
+    for w in sraa_synth::spec_all().into_iter().take(8) {
+        let p = Prepared::new(&w);
+        let s = p.lt.analysis().stats();
+        pops += s.pops;
+        constraints += s.constraints as u64;
+        for (sz, n) in p.lt.analysis().size_histogram() {
+            total += n;
+            if sz <= 2 {
+                small += n;
+            }
+        }
+    }
+    let ratio = pops as f64 / constraints as f64;
+    assert!(
+        (1.0..4.0).contains(&ratio),
+        "pops per constraint ≈ 2 (paper 2.12), got {ratio:.2}"
+    );
+    // The first eight profiles include the chain/stencil-heavy members
+    // (deliberately large LT sets); over the full 116-benchmark corpus the
+    // `scalability` binary measures 95.9% ≤ 2 (paper: >95%).
+    assert!(
+        small as f64 / total as f64 > 0.85,
+        "most LT sets are tiny (paper: >95% hold ≤2 elements corpus-wide): {:.1}%",
+        small as f64 / total as f64 * 100.0
+    );
+}
