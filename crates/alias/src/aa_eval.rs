@@ -73,10 +73,8 @@ impl AaEval {
     /// Runs every analysis over every pair, returning one summary per
     /// analysis (in input order).
     pub fn run(module: &Module, analyses: &[&dyn AliasAnalysis]) -> Vec<EvalSummary> {
-        let mut summaries: Vec<EvalSummary> = analyses
-            .iter()
-            .map(|a| EvalSummary { name: a.name(), ..Default::default() })
-            .collect();
+        let mut summaries: Vec<EvalSummary> =
+            analyses.iter().map(|a| EvalSummary { name: a.name(), ..Default::default() }).collect();
         for (fid, _) in module.functions() {
             let ptrs = Self::pointer_values(module, fid);
             for i in 0..ptrs.len() {

@@ -149,7 +149,8 @@ impl<'m> ConstraintBuilder<'m> {
                 for (v, data) in f.block_insts(b) {
                     let vid = self.index.id(fid, v);
                     match &data.kind {
-                        InstKind::Alloca { .. } | InstKind::Malloc { .. }
+                        InstKind::Alloca { .. }
+                        | InstKind::Malloc { .. }
                         | InstKind::GlobalAddr(_) => {
                             let o = self.site_obj[vid].expect("allocation site has an object");
                             pts[vid].insert(o);
@@ -170,11 +171,10 @@ impl<'m> ConstraintBuilder<'m> {
                         InstKind::Load { ptr } if is_ptr(v) => {
                             loads[self.index.id(fid, *ptr)].push(vid as u32);
                         }
-                        InstKind::Store { ptr, value }
-                            if is_ptr(*value) => {
-                                stores[self.index.id(fid, *ptr)]
-                                    .push(self.index.id(fid, *value) as u32);
-                            }
+                        InstKind::Store { ptr, value } if is_ptr(*value) => {
+                            stores[self.index.id(fid, *ptr)]
+                                .push(self.index.id(fid, *value) as u32);
+                        }
                         InstKind::Param(i) if is_ptr(v) => {
                             if internally_called[fid.index()] {
                                 // Edges added from call sites below.
@@ -324,9 +324,7 @@ mod tests {
     #[test]
     fn same_array_different_offsets_may_alias() {
         // Field-insensitive: CF cannot separate v[i] from v[j].
-        let (m, an) = prepared(
-            "int main() { int a[8]; a[1] = 1; a[2] = 2; return 0; }",
-        );
+        let (m, an) = prepared("int main() { int a[8]; a[1] = 1; a[2] = 2; return 0; }");
         let (fid, ptrs) = mem_ptrs(&m, "main");
         assert_eq!(an.alias(&m, fid, ptrs[0], ptrs[1]), AliasResult::MayAlias);
     }

@@ -136,10 +136,9 @@ fn analyze_function(f: &Function) -> FuncInfo {
     for b in f.block_ids() {
         for (_, data) in f.block_insts(b) {
             match &data.kind {
-                InstKind::Store { value, .. }
-                    if f.value_type(*value).is_some_and(Type::is_ptr) => {
-                        mark(&decomp, *value);
-                    }
+                InstKind::Store { value, .. } if f.value_type(*value).is_some_and(Type::is_ptr) => {
+                    mark(&decomp, *value);
+                }
                 InstKind::Call { args, .. } => {
                     for a in args {
                         if f.value_type(*a).is_some_and(Type::is_ptr) {
@@ -147,10 +146,9 @@ fn analyze_function(f: &Function) -> FuncInfo {
                         }
                     }
                 }
-                InstKind::Ret(Some(v))
-                    if f.value_type(*v).is_some_and(Type::is_ptr) => {
-                        mark(&decomp, *v);
-                    }
+                InstKind::Ret(Some(v)) if f.value_type(*v).is_some_and(Type::is_ptr) => {
+                    mark(&decomp, *v);
+                }
                 // A φ of pointers obscures the object: treat its operands
                 // as escaped so rule 3 stays conservative.
                 InstKind::Phi { incomings } if data.ty.is_some_and(Type::is_ptr) => {
@@ -256,9 +254,8 @@ mod tests {
 
     #[test]
     fn same_array_constant_offsets() {
-        let (m, ba) = prepared(
-            "int main() { int a[8]; a[1] = 1; a[2] = 2; a[1] = 3; return a[1]; }",
-        );
+        let (m, ba) =
+            prepared("int main() { int a[8]; a[1] = 1; a[2] = 2; a[1] = 3; return a[1]; }");
         let (fid, ptrs) = mem_ptrs(&m, "main");
         // a[1] vs a[2]: disjoint; a[1] vs a[1]: must.
         assert_eq!(ba.alias(&m, fid, ptrs[0], ptrs[1]), AliasResult::NoAlias);

@@ -169,10 +169,7 @@ mod tests {
 
     #[test]
     fn pentagon_never_contradicts_must_alias() {
-        let mut m = sraa_minic::compile(
-            "void g(int* p) { int* q = p; *q = 1; *p = 2; }",
-        )
-        .unwrap();
+        let mut m = sraa_minic::compile("void g(int* p) { int* q = p; *q = 1; *p = 2; }").unwrap();
         let pt = PentagonAa::new(&mut m);
         let (fid, ptrs) = pointer_operands(&m, "g");
         for &p1 in &ptrs {

@@ -1,9 +1,9 @@
 //! Steensgaard-style unification-based points-to analysis.
 //!
 //! The paper's related-work discussion places its contribution between the
-//! two classic points-to families: inclusion-based (Andersen [3], our
+//! two classic points-to families: inclusion-based (Andersen \[3\], our
 //! [`AndersenAnalysis`](crate::AndersenAnalysis)) and unification-based
-//! (Steensgaard [34], this module). Steensgaard's runs in almost-linear
+//! (Steensgaard \[34\], this module). Steensgaard's runs in almost-linear
 //! time by *unifying* the two sides of every assignment instead of
 //! tracking subset constraints — cheaper and strictly less precise than
 //! Andersen's, and like both of them completely blind to offsets within
@@ -114,18 +114,16 @@ impl SteensgaardAnalysis {
                             let pointee = a.pointee_of(pid);
                             a.unify(vid, pointee as usize);
                         }
-                        InstKind::Store { ptr, value }
-                            if is_ptr(*value) => {
-                                let pid = self_id(&a.index, fid, *ptr);
-                                let pointee = a.pointee_of(pid);
-                                let sid = self_id(&a.index, fid, *value);
-                                a.unify(pointee as usize, sid);
-                            }
-                        InstKind::Param(_) if is_ptr(v)
-                            && !internally_called[fid.index()] => {
-                                let pointee = a.pointee_of(vid);
-                                a.mark_unknown(pointee);
-                            }
+                        InstKind::Store { ptr, value } if is_ptr(*value) => {
+                            let pid = self_id(&a.index, fid, *ptr);
+                            let pointee = a.pointee_of(pid);
+                            let sid = self_id(&a.index, fid, *value);
+                            a.unify(pointee as usize, sid);
+                        }
+                        InstKind::Param(_) if is_ptr(v) && !internally_called[fid.index()] => {
+                            let pointee = a.pointee_of(vid);
+                            a.mark_unknown(pointee);
+                        }
                         InstKind::Opaque if is_ptr(v) => {
                             let pointee = a.pointee_of(vid);
                             a.mark_unknown(pointee);
@@ -134,8 +132,7 @@ impl SteensgaardAnalysis {
                             let cf = module.function(*callee);
                             for (i, arg) in args.iter().enumerate() {
                                 if f.value_type(*arg).is_some_and(Type::is_ptr) {
-                                    let formal =
-                                        self_id(&a.index, *callee, cf.param_value(i));
+                                    let formal = self_id(&a.index, *callee, cf.param_value(i));
                                     let aid = self_id(&a.index, fid, *arg);
                                     a.unify(formal, aid);
                                 }

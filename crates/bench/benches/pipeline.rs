@@ -11,7 +11,6 @@ fn spec_generate(name: &str) -> sraa_synth::Workload {
     spec_generate_by_name(name).expect("known profile")
 }
 
-
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10); // whole-module analyses are seconds-scale

@@ -17,8 +17,9 @@ fn bench_query_latency(c: &mut Criterion) {
     assert!(ptrs.len() >= 8);
 
     let mut group = c.benchmark_group("query");
-    let pairs: Vec<_> =
-        (0..ptrs.len().min(32)).flat_map(|i| (i + 1..ptrs.len().min(32)).map(move |j| (i, j))).collect();
+    let pairs: Vec<_> = (0..ptrs.len().min(32))
+        .flat_map(|i| (i + 1..ptrs.len().min(32)).map(move |j| (i, j)))
+        .collect();
     group.bench_function("BA", |b| {
         b.iter(|| {
             let mut n = 0u32;

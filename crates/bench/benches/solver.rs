@@ -24,11 +24,7 @@ fn loops(k: usize) -> Vec<Constraint> {
         let base = 3 * l;
         cs.push(Constraint::Init { x: base });
         cs.push(Constraint::Inter { x: base + 1, sources: vec![base, base + 2] });
-        cs.push(Constraint::Union {
-            x: base + 2,
-            elems: vec![base + 1],
-            sources: vec![base + 1],
-        });
+        cs.push(Constraint::Union { x: base + 2, elems: vec![base + 1], sources: vec![base + 1] });
     }
     cs
 }
@@ -81,16 +77,12 @@ fn bench_solver_comparison(c: &mut Criterion) {
     };
 
     for (name, cs, n) in &shapes {
-        group.bench_with_input(
-            BenchmarkId::new("baseline", name),
-            &(cs, *n),
-            |b, (cs, n)| b.iter(|| std::hint::black_box(solve(cs, *n).stats.pops)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("scc", name),
-            &(cs, *n),
-            |b, (cs, n)| b.iter(|| std::hint::black_box(solve_fast(cs, *n).stats.evals)),
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", name), &(cs, *n), |b, (cs, n)| {
+            b.iter(|| std::hint::black_box(solve(cs, *n).stats.pops))
+        });
+        group.bench_with_input(BenchmarkId::new("scc", name), &(cs, *n), |b, (cs, n)| {
+            b.iter(|| std::hint::black_box(solve_fast(cs, *n).stats.evals))
+        });
     }
     group.finish();
 }

@@ -30,7 +30,12 @@ fn main() {
         let r = &rng.eval(&[&rng.lt])[0];
         println!(
             "{:<12} {:>10} {:>10} {:>11} {:>10} {:>10}",
-            w.name, b.no_alias, e.no_alias, n.no_alias, r.no_alias, b.total()
+            w.name,
+            b.no_alias,
+            e.no_alias,
+            n.no_alias,
+            r.no_alias,
+            b.total()
         );
         faithful += b.no_alias;
         extended += e.no_alias;

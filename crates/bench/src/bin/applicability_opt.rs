@@ -20,9 +20,7 @@
 use sraa_alias::{
     AliasAnalysis, BasicAliasAnalysis, Combined, NoAa, PentagonAa, StrictInequalityAa,
 };
-use sraa_opt::{
-    eliminate_dead_stores, eliminate_redundant_loads, hoist_invariant_loads, OptStats,
-};
+use sraa_opt::{eliminate_dead_stores, eliminate_redundant_loads, hoist_invariant_loads, OptStats};
 
 #[derive(Clone, Copy)]
 enum Oracle {
@@ -41,10 +39,9 @@ fn run_oracle(source: &str, name: &str, oracle: Oracle) -> OptStats {
     let aa: Box<dyn AliasAnalysis> = match oracle {
         Oracle::None => Box::new(NoAa),
         Oracle::Ba => Box::new(BasicAliasAnalysis::new(&module)),
-        Oracle::BaLt => Box::new(Combined::new(vec![
-            Box::new(BasicAliasAnalysis::new(&module)),
-            Box::new(lt),
-        ])),
+        Oracle::BaLt => {
+            Box::new(Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt)]))
+        }
         Oracle::BaPt => Box::new(Combined::new(vec![
             Box::new(BasicAliasAnalysis::new(&module)),
             Box::new(PentagonAa::on_prepared(&module)),
@@ -65,9 +62,8 @@ fn report(title: &str, workloads: &[sraa_synth::Workload]) {
     let mut totals = [OptStats::default(); 4];
     for w in workloads {
         let mut row = [OptStats::default(); 4];
-        for (i, oracle) in [Oracle::None, Oracle::Ba, Oracle::BaLt, Oracle::BaPt]
-            .into_iter()
-            .enumerate()
+        for (i, oracle) in
+            [Oracle::None, Oracle::Ba, Oracle::BaLt, Oracle::BaPt].into_iter().enumerate()
         {
             row[i] = run_oracle(&w.source, &w.name, oracle);
             totals[i] += row[i];
@@ -84,8 +80,7 @@ fn report(title: &str, workloads: &[sraa_synth::Workload]) {
             cell(row[3])
         );
     }
-    let grand =
-        |s: OptStats| s.loads_eliminated + s.stores_eliminated + s.loads_hoisted;
+    let grand = |s: OptStats| s.loads_eliminated + s.stores_eliminated + s.loads_hoisted;
     println!(
         "totals: none={} BA={} BA+LT={} BA+PT={}",
         grand(totals[0]),

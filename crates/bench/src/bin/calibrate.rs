@@ -41,10 +41,8 @@ fn main() {
         for i in 0..ptrs.len() {
             for j in i + 1..ptrs.len() {
                 pairs += 1;
-                let b = prep.ba.alias(&prep.module, fid, ptrs[i], ptrs[j])
-                    == AliasResult::NoAlias;
-                let l = prep.lt.alias(&prep.module, fid, ptrs[i], ptrs[j])
-                    == AliasResult::NoAlias;
+                let b = prep.ba.alias(&prep.module, fid, ptrs[i], ptrs[j]) == AliasResult::NoAlias;
+                let l = prep.lt.alias(&prep.module, fid, ptrs[i], ptrs[j]) == AliasResult::NoAlias;
                 ba_yes += b as u64;
                 lt_yes += l as u64;
                 both += (b || l) as u64;

@@ -17,8 +17,7 @@ fn main() {
     let mut tot_static = 0usize;
     let mut tot_ba = 0usize;
     let mut tot_both = 0usize;
-    let mut per_depth: std::collections::BTreeMap<char, (usize, usize, usize)> =
-        Default::default();
+    let mut per_depth: std::collections::BTreeMap<char, (usize, usize, usize)> = Default::default();
     for w in &ws {
         // The PDG experiment enables the §3.6 range-offset criterion: the
         // Csmith population is constant-index-heavy, which is exactly the

@@ -21,15 +21,7 @@ use std::time::Instant;
 fn main() {
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>10}",
-        "benchmark",
-        "queries",
-        "LT-no",
-        "PT-no",
-        "LT>PT",
-        "PT>LT",
-        "lt-ms",
-        "pt-ms",
-        "pt-bound"
+        "benchmark", "queries", "LT-no", "PT-no", "LT>PT", "PT>LT", "lt-ms", "pt-ms", "pt-bound"
     );
 
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);

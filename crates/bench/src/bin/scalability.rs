@@ -51,10 +51,7 @@ fn main() {
         "pops per constraint      : {:.2}   (paper: 2.12)",
         total_pops as f64 / total_constraints.max(1) as f64
     );
-    println!(
-        "R²(time, #constraints)   : {:.4}  (paper: 0.988)",
-        r_squared(&xs, &ys)
-    );
+    println!("R²(time, #constraints)   : {:.4}  (paper: 0.988)", r_squared(&xs, &ys));
 
     let total_vars: usize = size_hist.values().sum();
     let small: usize = size_hist.iter().filter(|(s, _)| **s <= 2).map(|(_, n)| n).sum();

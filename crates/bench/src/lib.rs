@@ -122,8 +122,7 @@ mod tests {
     fn r_squared_of_noise_is_low() {
         // Deterministic pseudo-noise.
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            (0..100).map(|i| (i * 2654435761u64 % 97) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i * 2654435761u64 % 97) as f64).collect();
         assert!(r_squared(&xs, &ys) < 0.3);
     }
 

@@ -266,8 +266,7 @@ mod tests {
         let mut checked = 0;
         for (k, &a) in addrs.iter().enumerate() {
             for &b in addrs.iter().skip(k + 1) {
-                let (Some((_, xa)), Some((_, xb))) =
-                    (derived_pointer(f, a), derived_pointer(f, b))
+                let (Some((_, xa)), Some((_, xb))) = (derived_pointer(f, a), derived_pointer(f, b))
                 else {
                     continue;
                 };
@@ -341,10 +340,7 @@ mod tests {
         let (fid, addrs) = memory_addresses(&m, "f");
         let f = m.function(fid);
         assert_eq!(addrs.len(), 2);
-        assert!(
-            lt.no_alias(f, fid, addrs[0], addrs[1]),
-            "pi < pe inside the loop body ⇒ no alias"
-        );
+        assert!(lt.no_alias(f, fid, addrs[0], addrs[1]), "pi < pe inside the loop body ⇒ no alias");
     }
 
     #[test]

@@ -409,9 +409,7 @@ impl FuncGen<'_> {
                                         sources: vec![src_id, st],
                                     });
                                 }
-                                _ => self
-                                    .out
-                                    .push(Constraint::Copy { x, source: src_id }),
+                                _ => self.out.push(Constraint::Copy { x, source: src_id }),
                             }
                         }
                         Pred::Le => {
@@ -425,9 +423,7 @@ impl FuncGen<'_> {
                                         sources: vec![src_id, st],
                                     });
                                 }
-                                _ => self
-                                    .out
-                                    .push(Constraint::Copy { x, source: src_id }),
+                                _ => self.out.push(Constraint::Copy { x, source: src_id }),
                             }
                         }
                         Pred::Eq => self.equality_copy(v, src, small, large, block, origin),
@@ -469,7 +465,12 @@ impl FuncGen<'_> {
     }
 
     /// Finds the σ-copy of `of` in `block` carrying the same origin.
-    fn find_sibling(&self, block: sraa_ir::BlockId, origin: CopyOrigin, of: Value) -> Option<Value> {
+    fn find_sibling(
+        &self,
+        block: sraa_ir::BlockId,
+        origin: CopyOrigin,
+        of: Value,
+    ) -> Option<Value> {
         let _ = self.module;
         for (v, data) in self.f.block_insts(block) {
             if let InstKind::Copy { src, origin: o } = &data.kind {
@@ -594,10 +595,9 @@ mod tests {
         let Constraint::Union { sources, .. } = &sys.constraints[ci] else { panic!() };
         let t = sources[0];
         assert!(t >= ix.len(), "synthetic variable lives beyond the module ids");
-        assert!(sys
-            .constraints
-            .iter()
-            .any(|c| matches!(c, Constraint::Inter { x, sources } if *x == t && sources.len() == 1)));
+        assert!(sys.constraints.iter().any(
+            |c| matches!(c, Constraint::Inter { x, sources } if *x == t && sources.len() == 1)
+        ));
     }
 
     #[test]

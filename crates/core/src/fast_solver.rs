@@ -129,11 +129,8 @@ impl FastSolution {
 /// Solves the constraint system over `num_vars` variables by SCC
 /// condensation. Produces the same fixpoint as [`solve`](crate::solve).
 pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
-    let mut stats = FastStats {
-        constraints: constraints.len(),
-        variables: num_vars,
-        ..Default::default()
-    };
+    let mut stats =
+        FastStats { constraints: constraints.len(), variables: num_vars, ..Default::default() };
 
     // defining[v] = the constraint that defines v (at most one; constraint
     // generation emits one constraint per defined variable).
@@ -162,8 +159,7 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
     // Tarjan emits components dependencies-first, so by the time a
     // component is processed every external read is final.
     for comp in &sccs {
-        let cyclic = comp.len() > 1
-            || deps[comp[0] as usize].contains(&comp[0]);
+        let cyclic = comp.len() > 1 || deps[comp[0] as usize].contains(&comp[0]);
         if !cyclic {
             let ci = comp[0] as usize;
             stats.evals += 1;
@@ -174,10 +170,7 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
         stats.cyclic_sccs += 1;
 
         if comp.iter().all(|&ci| {
-            matches!(
-                constraints[ci as usize],
-                Constraint::Union { .. } | Constraint::Copy { .. }
-            )
+            matches!(constraints[ci as usize], Constraint::Union { .. } | Constraint::Copy { .. })
         }) {
             // Union-only cycle: stays ⊤ (see module docs). Nothing to do —
             // the defined variables are already ⊤ and will be frozen.
@@ -346,8 +339,7 @@ fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let mut comp = Vec::new();
@@ -378,11 +370,7 @@ mod tests {
         let base = solve(cs, num_vars);
         let fast = solve_fast(cs, num_vars);
         for x in 0..num_vars {
-            assert_eq!(
-                base.lt_set(x),
-                fast.lt_set(x),
-                "solvers disagree on LT({x}) over {cs:?}"
-            );
+            assert_eq!(base.lt_set(x), fast.lt_set(x), "solvers disagree on LT({x}) over {cs:?}");
         }
         assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops);
     }
@@ -607,9 +595,7 @@ mod tests {
                 (0..n)
                     .map(|x| constraint_for(x, n))
                     .collect::<Vec<_>>()
-                    .prop_map(move |cs| {
-                        (cs.into_iter().flatten().collect::<Vec<C>>(), n)
-                    })
+                    .prop_map(move |cs| (cs.into_iter().flatten().collect::<Vec<C>>(), n))
             })
         }
 

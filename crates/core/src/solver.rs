@@ -14,7 +14,7 @@
 //!
 //! Variables whose set is still ⊤ at the fixpoint can only belong to code
 //! unreachable from any grounded definition (e.g. dead functions);
-//! [`Solution::freeze`] conservatively demotes them to ∅ so that queries
+//! the freeze step in [`solve`] conservatively demotes them to ∅ so that queries
 //! never rely on vacuous facts.
 
 use crate::constraints::Constraint;
@@ -131,15 +131,11 @@ pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
         }
     }
 
-    let mut stats = SolveStats {
-        constraints: constraints.len(),
-        variables: num_vars,
-        ..Default::default()
-    };
+    let mut stats =
+        SolveStats { constraints: constraints.len(), variables: num_vars, ..Default::default() };
 
     // Seed with every constraint, in order.
-    let mut worklist: std::collections::VecDeque<u32> =
-        (0..constraints.len() as u32).collect();
+    let mut worklist: std::collections::VecDeque<u32> = (0..constraints.len() as u32).collect();
     let mut on_list = vec![true; constraints.len()];
 
     while let Some(ci) = worklist.pop_front() {
@@ -240,17 +236,17 @@ mod tests {
     /// x0=0, x1=1, x2=2, x3=3, x4=4, x5=5, x6=6, x1t=7, x1f=8, x4t=9, x4f=10.
     fn example_3_4() -> Vec<C> {
         vec![
-            C::Init { x: 0 },                                           // LT(x0) = ∅
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },         // LT(x1) = {x0} ∪ LT(x0)
-            C::Inter { x: 2, sources: vec![1, 3] },                     // LT(x2) = LT(x1) ∩ LT(x3)
-            C::Union { x: 3, elems: vec![2], sources: vec![2] },         // LT(x3) = {x2} ∪ LT(x2)
-            C::Init { x: 4 },                                           // LT(x4) = ∅
-            C::Union { x: 5, elems: vec![4], sources: vec![2] },         // LT(x5) = {x4} ∪ LT(x2)
-            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] },      // LT(x1t) = {x4t} ∪ LT(x4t) ∪ LT(x1)
-            C::Copy { x: 8, source: 1 },                                // LT(x1f) = LT(x1)
-            C::Union { x: 10, elems: vec![], sources: vec![8, 4] },        // LT(x4f) = LT(x1f) ∪ LT(x4)
-            C::Copy { x: 9, source: 4 },                                // LT(x4t) = LT(x4)
-            C::Inter { x: 6, sources: vec![3, 9, 4] },                  // LT(x6) = LT(x3) ∩ LT(x4t) ∩ LT(x4)
+            C::Init { x: 0 },                                       // LT(x0) = ∅
+            C::Union { x: 1, elems: vec![0], sources: vec![0] },    // LT(x1) = {x0} ∪ LT(x0)
+            C::Inter { x: 2, sources: vec![1, 3] },                 // LT(x2) = LT(x1) ∩ LT(x3)
+            C::Union { x: 3, elems: vec![2], sources: vec![2] },    // LT(x3) = {x2} ∪ LT(x2)
+            C::Init { x: 4 },                                       // LT(x4) = ∅
+            C::Union { x: 5, elems: vec![4], sources: vec![2] },    // LT(x5) = {x4} ∪ LT(x2)
+            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] }, // LT(x1t) = {x4t} ∪ LT(x4t) ∪ LT(x1)
+            C::Copy { x: 8, source: 1 },                            // LT(x1f) = LT(x1)
+            C::Union { x: 10, elems: vec![], sources: vec![8, 4] }, // LT(x4f) = LT(x1f) ∪ LT(x4)
+            C::Copy { x: 9, source: 4 },                            // LT(x4t) = LT(x4)
+            C::Inter { x: 6, sources: vec![3, 9, 4] }, // LT(x6) = LT(x3) ∩ LT(x4t) ∩ LT(x4)
         ]
     }
 
@@ -290,8 +286,8 @@ mod tests {
     fn loop_phi_reaches_fixpoint() {
         // i = φ(c, i2); i2 = i + 1, with c grounded at ∅.
         let cs = vec![
-            C::Init { x: 0 },                                   // c
-            C::Inter { x: 1, sources: vec![0, 2] },             // i
+            C::Init { x: 0 },                                    // c
+            C::Inter { x: 1, sources: vec![0, 2] },              // i
             C::Union { x: 2, elems: vec![1], sources: vec![1] }, // i2
         ];
         let sol = solve(&cs, 3);

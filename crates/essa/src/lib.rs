@@ -155,9 +155,10 @@ pub fn split_at_subtractions_in(
         for (v, data) in f.block_insts(b) {
             match &data.kind {
                 InstKind::Binary { op: BinOp::Sub, lhs, rhs }
-                    if is_strictly_positive(f, fid, ranges, *rhs) => {
-                        work.push((v, *lhs));
-                    }
+                    if is_strictly_positive(f, fid, ranges, *rhs) =>
+                {
+                    work.push((v, *lhs));
+                }
                 InstKind::Binary { op: BinOp::Add, lhs, rhs } => {
                     // x1 = x2 + n with n < 0 is a subtraction in disguise.
                     if is_strictly_negative(f, fid, ranges, *rhs) {
@@ -166,10 +167,9 @@ pub fn split_at_subtractions_in(
                         work.push((v, *rhs));
                     }
                 }
-                InstKind::Gep { base, offset }
-                    if is_strictly_negative(f, fid, ranges, *offset) => {
-                        work.push((v, *base));
-                    }
+                InstKind::Gep { base, offset } if is_strictly_negative(f, fid, ranges, *offset) => {
+                    work.push((v, *base));
+                }
                 _ => {}
             }
         }
@@ -594,8 +594,7 @@ mod ssi_tests {
             let mut m = sraa_minic::compile(&w.source).unwrap();
             transform_module(&mut m);
             for (fid, _) in m.functions() {
-                verify_ssi(m.function(fid))
-                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                verify_ssi(m.function(fid)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             }
             sraa_ir::verify(&m).unwrap();
         }

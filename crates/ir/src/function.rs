@@ -15,10 +15,7 @@ pub struct Block {
 impl Block {
     /// Index of the first non-φ instruction.
     pub fn first_non_phi(&self, func: &Function) -> usize {
-        self.insts
-            .iter()
-            .position(|&v| !func.inst(v).kind.is_phi())
-            .unwrap_or(self.insts.len())
+        self.insts.iter().position(|&v| !func.inst(v).kind.is_phi()).unwrap_or(self.insts.len())
     }
 }
 
@@ -282,7 +279,11 @@ mod tests {
         let b2 = f.add_block();
         let x = f.param_value(0);
         let c0 = f.add_const(0);
-        let c = f.append_inst(entry, InstKind::Cmp { pred: Pred::Lt, lhs: x, rhs: c0 }, Some(Type::Int));
+        let c = f.append_inst(
+            entry,
+            InstKind::Cmp { pred: Pred::Lt, lhs: x, rhs: c0 },
+            Some(Type::Int),
+        );
         f.append_inst(entry, InstKind::Br { cond: c, then_bb: b1, else_bb: b2 }, None);
         f.append_inst(b1, InstKind::Jump(b2), None);
         let phi = f.append_inst(

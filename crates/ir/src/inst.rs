@@ -242,10 +242,7 @@ impl InstKind {
     /// `true` for instructions that open a new allocation site
     /// (alloca / malloc / global address).
     pub fn is_allocation_site(&self) -> bool {
-        matches!(
-            self,
-            InstKind::Alloca { .. } | InstKind::Malloc { .. } | InstKind::GlobalAddr(_)
-        )
+        matches!(self, InstKind::Alloca { .. } | InstKind::Malloc { .. } | InstKind::GlobalAddr(_))
     }
 
     /// Calls `f` on every value operand (φ incomings included).
@@ -364,10 +361,9 @@ impl InstKind {
                     *else_bb = to;
                 }
             }
-            InstKind::Jump(b)
-                if *b == from => {
-                    *b = to;
-                }
+            InstKind::Jump(b) if *b == from => {
+                *b = to;
+            }
             _ => {}
         }
     }

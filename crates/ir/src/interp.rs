@@ -177,7 +177,9 @@ impl<'m> Interpreter<'m> {
         let idx = self.allocations.partition_point(|&(start, _)| start <= addr);
         if idx > 0 {
             let (start, size) = self.allocations[idx - 1];
-            if addr >= start && addr + Type::SIZE <= start + size && (addr - start) % Type::SIZE == 0
+            if addr >= start
+                && addr + Type::SIZE <= start + size
+                && (addr - start) % Type::SIZE == 0
             {
                 return Ok(());
             }

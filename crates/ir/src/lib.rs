@@ -12,7 +12,7 @@
 //! Beyond the representation itself the crate ships the classic analyses and
 //! tools every pass in the pipeline needs:
 //!
-//! * [`cfg`] — control-flow graph, reverse post-order;
+//! * [`mod@cfg`] — control-flow graph, reverse post-order;
 //! * [`dom`] — dominator tree (Cooper–Harvey–Kennedy) and dominance queries;
 //! * [`liveness`] — SSA live-in/live-out sets;
 //! * [`defuse`] — def-use chains;

@@ -38,11 +38,7 @@ impl Loop {
     /// one (the *preheader*, where hoisted code lands). `None` when the
     /// header has several external predecessors or is the function entry.
     pub fn preheader(&self, cfg: &Cfg) -> Option<BlockId> {
-        let mut outside = cfg
-            .preds(self.header)
-            .iter()
-            .copied()
-            .filter(|p| !self.contains(*p));
+        let mut outside = cfg.preds(self.header).iter().copied().filter(|p| !self.contains(*p));
         let candidate = outside.next()?;
         if outside.next().is_some() {
             return None;
@@ -118,8 +114,7 @@ impl LoopForest {
             let b = BlockId::from_index(slot);
             let mut best: Option<usize> = None;
             for (idx, l) in loops.iter().enumerate() {
-                if l.contains(b) && best.is_none_or(|x: usize| l.body.len() < loops[x].body.len())
-                {
+                if l.contains(b) && best.is_none_or(|x: usize| l.body.len() < loops[x].body.len()) {
                     best = Some(idx);
                 }
             }

@@ -44,7 +44,12 @@ impl Module {
     }
 
     /// Declares a global array of `count` elements of type `elem_ty`.
-    pub fn declare_global(&mut self, name: impl Into<String>, elem_ty: Type, count: u32) -> GlobalId {
+    pub fn declare_global(
+        &mut self,
+        name: impl Into<String>,
+        elem_ty: Type,
+        count: u32,
+    ) -> GlobalId {
         self.globals.push(Global { name: name.into(), elem_ty, count });
         GlobalId::from_index(self.globals.len() - 1)
     }

@@ -182,7 +182,10 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 out.push(Spanned { tok: Tok::Ident(id), line });
             }
             other => {
-                return Err(ParseError { line, message: format!("unexpected character `{other}`") });
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
             }
         }
     }
@@ -418,8 +421,7 @@ fn parse_function_body(
                 Tok::RBracket => depth = depth.saturating_sub(1),
                 Tok::Ident(id) if depth == 0 => {
                     let prev_is_percent = i > 0 && p.toks[i - 1].tok == Tok::Percent;
-                    let next_is_colon =
-                        p.toks.get(i + 1).map(|s| &s.tok) == Some(&Tok::Colon);
+                    let next_is_colon = p.toks.get(i + 1).map(|s| &s.tok) == Some(&Tok::Colon);
                     if next_is_colon && !prev_is_percent {
                         label_order.push(id.clone());
                     } else if next_is_colon && prev_is_percent {
@@ -471,7 +473,16 @@ fn parse_function_body(
             }
             Some(_) => {
                 let bb = current.ok_or_else(|| p.err("statement before first block label"))?;
-                parse_statement(p, module, fid, bb, &value_names, &block_names, global_ids, func_ids)?;
+                parse_statement(
+                    p,
+                    module,
+                    fid,
+                    bb,
+                    &value_names,
+                    &block_names,
+                    global_ids,
+                    func_ids,
+                )?;
             }
             None => return Err(p.err("unterminated function body")),
         }
@@ -560,7 +571,9 @@ fn parse_statement(
                 "copy" => {
                     let src = value_ref(p)?;
                     let origin = match p.peek() {
-                        Some(Tok::Ident(k)) if k == "sigma_t" || k == "sigma_f" || k == "subsplit" => {
+                        Some(Tok::Ident(k))
+                            if k == "sigma_t" || k == "sigma_f" || k == "subsplit" =>
+                        {
                             let k = p.expect_ident()?;
                             p.expect(Tok::LParen)?;
                             let v = value_ref(p)?;
@@ -626,9 +639,11 @@ fn parse_statement(
                 let then_bb = block_ref(p)?;
                 p.expect(Tok::Comma)?;
                 let else_bb = block_ref(p)?;
-                module
-                    .function_mut(fid)
-                    .append_inst(bb, InstKind::Br { cond, then_bb, else_bb }, None);
+                module.function_mut(fid).append_inst(
+                    bb,
+                    InstKind::Br { cond, then_bb, else_bb },
+                    None,
+                );
                 Ok(())
             }
             "jump" => {

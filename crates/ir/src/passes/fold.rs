@@ -24,10 +24,8 @@ pub fn fold_constants(func: &mut Function) -> usize {
     let mut total = 0usize;
     loop {
         let mut changed = 0usize;
-        let worklist: Vec<Value> = func
-            .block_ids()
-            .flat_map(|b| func.block(b).insts.clone())
-            .collect();
+        let worklist: Vec<Value> =
+            func.block_ids().flat_map(|b| func.block(b).insts.clone()).collect();
         for v in worklist {
             let as_const = |f: &Function, x: Value| match f.inst(x).kind {
                 InstKind::Const(c) => Some(c),
@@ -57,9 +55,7 @@ pub fn fold_constants(func: &mut Function) -> usize {
                         (Some(1), _) if op == BinOp::Mul => {
                             Some(InstKind::Copy { src: rhs, origin: CopyOrigin::Plain })
                         }
-                        (_, Some(0)) | (Some(0), _) if op == BinOp::Mul => {
-                            Some(InstKind::Const(0))
-                        }
+                        (_, Some(0)) | (Some(0), _) if op == BinOp::Mul => Some(InstKind::Const(0)),
                         _ if lhs == rhs && op == BinOp::Sub => Some(InstKind::Const(0)),
                         _ => None,
                     }
@@ -75,16 +71,12 @@ pub fn fold_constants(func: &mut Function) -> usize {
                         _ => None,
                     }
                 }
-                InstKind::Copy { src, .. } => {
-                    as_const(func, *src).map(InstKind::Const)
-                }
+                InstKind::Copy { src, .. } => as_const(func, *src).map(InstKind::Const),
                 InstKind::Phi { incomings } => {
                     let consts: Vec<Option<i64>> =
                         incomings.iter().map(|(_, x)| as_const(func, *x)).collect();
                     match consts.split_first() {
-                        Some((Some(first), rest))
-                            if rest.iter().all(|c| *c == Some(*first)) =>
-                        {
+                        Some((Some(first), rest)) if rest.iter().all(|c| *c == Some(*first)) => {
                             Some(InstKind::Const(*first))
                         }
                         _ => None,

@@ -140,9 +140,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                         let Some(term) = f.terminator(*pred) else { continue };
                         if f.inst(*arg).block.is_none() {
                             problem(format!("φ {user} uses detached value {arg}"));
-                        } else if !dt.def_dominates_use(f, &positions, *arg, term)
-                            && *arg != term
-                        {
+                        } else if !dt.def_dominates_use(f, &positions, *arg, term) && *arg != term {
                             problem(format!(
                                 "φ {user} use of {arg} from {pred} is not dominated by its def"
                             ));
@@ -239,18 +237,14 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                         problem(format!("{v}: gep must preserve its base type"));
                     }
                 }
-                InstKind::Load { ptr } => {
-                    match ty_of(*ptr).and_then(Type::pointee) {
-                        Some(p) if data.ty == Some(p) => {}
-                        _ => problem(format!("{v}: load type must be the pointee of its operand")),
-                    }
-                }
-                InstKind::Store { ptr, value } => {
-                    match ty_of(*ptr).and_then(Type::pointee) {
-                        Some(p) if ty_of(*value) == Some(p) => {}
-                        _ => problem(format!("{v}: store value must match pointee type")),
-                    }
-                }
+                InstKind::Load { ptr } => match ty_of(*ptr).and_then(Type::pointee) {
+                    Some(p) if data.ty == Some(p) => {}
+                    _ => problem(format!("{v}: load type must be the pointee of its operand")),
+                },
+                InstKind::Store { ptr, value } => match ty_of(*ptr).and_then(Type::pointee) {
+                    Some(p) if ty_of(*value) == Some(p) => {}
+                    _ => problem(format!("{v}: store value must match pointee type")),
+                },
                 InstKind::Call { callee, args } => {
                     if let Some(m) = module {
                         let cf = m.function(*callee);

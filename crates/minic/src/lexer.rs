@@ -244,7 +244,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     push(&mut out, TokenKind::OrOr);
                     i += 2;
                 } else {
-                    return Err(CompileError { line, message: "bitwise `|` is not supported".into() });
+                    return Err(CompileError {
+                        line,
+                        message: "bitwise `|` is not supported".into(),
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
@@ -268,7 +271,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 push(&mut out, TokenKind::Ident(id));
             }
             other => {
-                return Err(CompileError { line, message: format!("unexpected character `{other}`") })
+                return Err(CompileError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -319,9 +325,9 @@ mod tests {
     #[test]
     fn lexes_compound_assignment() {
         use TokenKind::*;
-        assert_eq!(kinds("x += 1; y -= 2;"), vec![
-            Ident("x".into()), PlusEq, Int(1), Semi,
-            Ident("y".into()), MinusEq, Int(2), Semi,
-        ]);
+        assert_eq!(
+            kinds("x += 1; y -= 2;"),
+            vec![Ident("x".into()), PlusEq, Int(1), Semi, Ident("y".into()), MinusEq, Int(2), Semi,]
+        );
     }
 }

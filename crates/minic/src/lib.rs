@@ -66,7 +66,10 @@ pub fn compile(source: &str) -> Result<sraa_ir::Module, CompileError> {
     let program = parse_program(source)?;
     let module = lower_program(&program)?;
     if let Err(e) = sraa_ir::verify(&module) {
-        return Err(CompileError { line: 0, message: format!("frontend produced invalid IR: {e}") });
+        return Err(CompileError {
+            line: 0,
+            message: format!("frontend produced invalid IR: {e}"),
+        });
     }
     Ok(module)
 }
@@ -243,10 +246,7 @@ mod extended_syntax_tests {
 
     #[test]
     fn ternary_is_right_associative_and_nests() {
-        assert_eq!(
-            run("int main() { int x = 7; return x < 3 ? 1 : x < 10 ? 2 : 3; }"),
-            2
-        );
+        assert_eq!(run("int main() { int x = 7; return x < 3 ? 1 : x < 10 ? 2 : 3; }"), 2);
     }
 
     #[test]

@@ -14,9 +14,7 @@
 
 use crate::ast::*;
 use crate::CompileError;
-use sraa_ir::{
-    BinOp, BlockId, FuncId, Function, GlobalId, InstKind, Module, Pred, Type, Value,
-};
+use sraa_ir::{BinOp, BlockId, FuncId, Function, GlobalId, InstKind, Module, Pred, Type, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Lowers a parsed program into an IR module.
@@ -34,10 +32,8 @@ pub fn lower_program(prog: &Program) -> Result<Module, CompileError> {
         if globals.contains_key(&g.name) {
             return Err(err(g.line, format!("duplicate global `{}`", g.name)));
         }
-        let ir_ty = g
-            .elem_ty
-            .to_ir()
-            .ok_or_else(|| err(g.line, "globals cannot be void".to_string()))?;
+        let ir_ty =
+            g.elem_ty.to_ir().ok_or_else(|| err(g.line, "globals cannot be void".to_string()))?;
         let id = module.declare_global(g.name.clone(), ir_ty, g.count);
         globals.insert(g.name.clone(), (id, g.elem_ty, g.count));
     }
@@ -423,9 +419,8 @@ impl<'a> FnLower<'a> {
                 if nt != Ty::Int {
                     return Err(err(*line, "array size must be an int".into()));
                 }
-                let ir_elem = elem_ty
-                    .to_ir()
-                    .ok_or_else(|| err(*line, "void array element".to_string()))?;
+                let ir_elem =
+                    elem_ty.to_ir().ok_or_else(|| err(*line, "void array element".to_string()))?;
                 let ptr = self.emit(InstKind::Alloca { count: n }, Some(ir_elem.ptr_to()));
                 self.scopes
                     .last_mut()
@@ -652,9 +647,9 @@ impl<'a> FnLower<'a> {
             }
             Expr::Unary { op: UnOp::Deref, expr, line } => {
                 let (p, pt) = self.lower_expr(expr, None)?;
-                let elem = pt
-                    .deref()
-                    .ok_or_else(|| err(*line, format!("cannot dereference a value of type {pt}")))?;
+                let elem = pt.deref().ok_or_else(|| {
+                    err(*line, format!("cannot dereference a value of type {pt}"))
+                })?;
                 Ok(Place::Mem { addr: p, elem })
             }
             Expr::Index { base, index, line } => {
@@ -668,9 +663,7 @@ impl<'a> FnLower<'a> {
     fn read_place(&mut self, place: &Place) -> Value {
         match place {
             Place::Ssa { key, .. } => self.read_var(key, self.cur),
-            Place::Mem { addr, elem } => {
-                self.emit(InstKind::Load { ptr: *addr }, elem.to_ir())
-            }
+            Place::Mem { addr, elem } => self.emit(InstKind::Load { ptr: *addr }, elem.to_ir()),
         }
     }
 
@@ -682,9 +675,8 @@ impl<'a> FnLower<'a> {
         line: u32,
     ) -> Result<(Value, Ty), CompileError> {
         let (b, bt) = self.lower_expr(base, None)?;
-        let elem = bt
-            .deref()
-            .ok_or_else(|| err(line, format!("cannot index a value of type {bt}")))?;
+        let elem =
+            bt.deref().ok_or_else(|| err(line, format!("cannot index a value of type {bt}")))?;
         let (i, it) = self.lower_expr(index, Some(Ty::Int))?;
         if it != Ty::Int {
             return Err(err(line, "array index must be an int".into()));
@@ -704,11 +696,7 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn lower_expr(
-        &mut self,
-        e: &Expr,
-        expected: Option<Ty>,
-    ) -> Result<(Value, Ty), CompileError> {
+    fn lower_expr(&mut self, e: &Expr, expected: Option<Ty>) -> Result<(Value, Ty), CompileError> {
         match e {
             Expr::Int(v) => Ok((self.iconst(*v), Ty::Int)),
             Expr::Var { name, line } => {
@@ -816,9 +804,7 @@ impl<'a> FnLower<'a> {
                 self.switch_to(merge);
                 let short_val = self.iconst(if is_and { 0 } else { 1 });
                 let phi = self.f.new_inst(
-                    InstKind::Phi {
-                        incomings: vec![(short_bb, short_val), (rhs_end, norm)],
-                    },
+                    InstKind::Phi { incomings: vec![(short_bb, short_val), (rhs_end, norm)] },
                     Some(Type::Int),
                 );
                 self.f.attach_inst(merge, 0, phi);
@@ -861,7 +847,10 @@ impl<'a> FnLower<'a> {
             }
             Expr::Call { name, args, line } => {
                 let (v, t) = self.lower_call(name, args, *line, false)?;
-                Ok((v.ok_or_else(|| err(*line, format!("void call to `{name}` used as value")))?, t))
+                Ok((
+                    v.ok_or_else(|| err(*line, format!("void call to `{name}` used as value")))?,
+                    t,
+                ))
             }
             Expr::Malloc { count, line } => {
                 let elem = expected
@@ -875,9 +864,7 @@ impl<'a> FnLower<'a> {
                 let p = self.emit(InstKind::Malloc { count: n }, Some(ir_elem.ptr_to()));
                 Ok((p, elem.addr_of().expect("not void")))
             }
-            Expr::Input { .. } => {
-                Ok((self.emit(InstKind::Opaque, Some(Type::Int)), Ty::Int))
-            }
+            Expr::Input { .. } => Ok((self.emit(InstKind::Opaque, Some(Type::Int)), Ty::Int)),
             Expr::InputPtr { .. } => {
                 Ok((self.emit(InstKind::Opaque, Some(Type::Ptr(1))), Ty::Ptr(1)))
             }
@@ -963,10 +950,7 @@ impl<'a> FnLower<'a> {
                     Ok((self.emit(InstKind::Gep { base: r, offset: l }, rt.to_ir()), rt))
                 }
                 (Ty::Ptr(a), Ty::Ptr(b)) if op == Sub && a == b => Ok((
-                    self.emit(
-                        InstKind::Binary { op: BinOp::Sub, lhs: l, rhs: r },
-                        Some(Type::Int),
-                    ),
+                    self.emit(InstKind::Binary { op: BinOp::Sub, lhs: l, rhs: r }, Some(Type::Int)),
                     Ty::Int,
                 )),
                 _ => Err(err(line, format!("invalid operands {lt} {op:?} {rt}"))),

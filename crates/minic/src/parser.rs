@@ -15,10 +15,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map_or(0, |t| t.line)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(0, |t| t.line)
     }
 
     fn err(&self, message: impl Into<String>) -> CompileError {
@@ -191,20 +188,12 @@ fn parse_stmt(p: &mut Parser) -> Result<Stmt, CompileError> {
     if p.is_keyword("for") {
         p.bump();
         p.expect(&TokenKind::LParen)?;
-        let init = if p.peek() == Some(&TokenKind::Semi) {
-            vec![]
-        } else {
-            parse_simple_list(p)?
-        };
+        let init = if p.peek() == Some(&TokenKind::Semi) { vec![] } else { parse_simple_list(p)? };
         p.expect(&TokenKind::Semi)?;
-        let cond =
-            if p.peek() == Some(&TokenKind::Semi) { None } else { Some(parse_expr(p)?) };
+        let cond = if p.peek() == Some(&TokenKind::Semi) { None } else { Some(parse_expr(p)?) };
         p.expect(&TokenKind::Semi)?;
-        let step = if p.peek() == Some(&TokenKind::RParen) {
-            vec![]
-        } else {
-            parse_simple_list(p)?
-        };
+        let step =
+            if p.peek() == Some(&TokenKind::RParen) { vec![] } else { parse_simple_list(p)? };
         p.expect(&TokenKind::RParen)?;
         let body = vec![parse_stmt(p)?];
         return Ok(Stmt::For { init, cond, step, body, line });
@@ -248,8 +237,7 @@ fn parse_simple_list(p: &mut Parser) -> Result<Vec<Stmt>, CompileError> {
             Some(ty) => {
                 let line = p.line();
                 let name = p.expect_ident()?;
-                let init =
-                    if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
+                let init = if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
                 out.push(Stmt::DeclScalar { name, ty, init, line });
             }
             None => out.push(parse_simple(p)?),
@@ -275,8 +263,7 @@ fn parse_simple(p: &mut Parser) -> Result<Stmt, CompileError> {
             p.expect(&TokenKind::RBracket)?;
             return Ok(Stmt::DeclArray { name, elem_ty: ty, count, line });
         }
-        let init =
-            if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
+        let init = if p.eat(&TokenKind::Assign) { Some(parse_expr(p)?) } else { None };
         return Ok(Stmt::DeclScalar { name, ty, init, line });
     }
     p.pos = save;
@@ -492,10 +479,9 @@ fn parse_primary(p: &mut Parser) -> Result<Expr, CompileError> {
                 Ok(Expr::Var { name, line })
             }
         }
-        other => Err(CompileError {
-            line,
-            message: format!("expected an expression, found {other:?}"),
-        }),
+        other => {
+            Err(CompileError { line, message: format!("expected an expression, found {other:?}") })
+        }
     }
 }
 
@@ -570,14 +556,13 @@ mod tests {
 
     #[test]
     fn malloc_and_input_builtins() {
-        let prog = parse_program("int main() { int* p = malloc(4); int x = input(); return x; }")
-            .unwrap();
+        let prog =
+            parse_program("int main() { int* p = malloc(4); int x = input(); return x; }").unwrap();
         let Stmt::DeclScalar { init: Some(Expr::Malloc { .. }), .. } = &prog.funcs[0].body[0]
         else {
             panic!()
         };
-        let Stmt::DeclScalar { init: Some(Expr::Input { .. }), .. } = &prog.funcs[0].body[1]
-        else {
+        let Stmt::DeclScalar { init: Some(Expr::Input { .. }), .. } = &prog.funcs[0].body[1] else {
             panic!()
         };
     }

@@ -53,9 +53,7 @@ fn eliminate_in_function(module: &mut Module, fid: FuncId, aa: &dyn AliasAnalysi
                     }
                 }
                 InstKind::Load { ptr } => {
-                    pending.retain(|&q| {
-                        aa.alias(module, fid, q, *ptr) == AliasResult::NoAlias
-                    });
+                    pending.retain(|&q| aa.alias(module, fid, q, *ptr) == AliasResult::NoAlias);
                 }
                 InstKind::Call { .. } => pending.clear(),
                 _ => {}

@@ -81,10 +81,7 @@ fn hoist_in_function(module: &mut Module, fid: FuncId, aa: &dyn AliasAnalysis) -
                 // moves out together with it.
                 let Some(chain) = invariant_chain(func, l, ptr) else { continue };
                 // Every loop store provably misses the address.
-                if stores
-                    .iter()
-                    .all(|&s| aa.alias(module, fid, ptr, s) == AliasResult::NoAlias)
-                {
+                if stores.iter().all(|&s| aa.alias(module, fid, ptr, s) == AliasResult::NoAlias) {
                     let mut all = chain;
                     all.push(v);
                     moves.push((all, preheader));
@@ -120,11 +117,7 @@ fn hoist_in_function(module: &mut Module, fid: FuncId, aa: &dyn AliasAnalysis) -
 /// Only trap-free instructions are eligible (no `div`/`rem`): the chain
 /// is speculated into the preheader, where a zero-trip loop would
 /// execute it without the body's guard.
-fn invariant_chain(
-    func: &sraa_ir::Function,
-    l: &sraa_ir::Loop,
-    ptr: Value,
-) -> Option<Vec<Value>> {
+fn invariant_chain(func: &sraa_ir::Function, l: &sraa_ir::Loop, ptr: Value) -> Option<Vec<Value>> {
     fn visit(
         func: &sraa_ir::Function,
         l: &sraa_ir::Loop,
@@ -205,8 +198,7 @@ mod tests {
 
         let mut m2 = sraa_minic::compile(KERNEL).unwrap();
         let lt = StrictInequalityAa::new(&mut m2);
-        let combined =
-            Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m2)), Box::new(lt)]);
+        let combined = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m2)), Box::new(lt)]);
         let stats = hoist_invariant_loads(&mut m2, &combined);
         assert_eq!(stats.loads_hoisted, 1, "BA+LT hoists v[lo]");
         sraa_ir::verify(&m2).unwrap();

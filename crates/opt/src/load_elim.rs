@@ -73,9 +73,7 @@ fn eliminate_in_function(module: &mut Module, fid: FuncId, aa: &dyn AliasAnalysi
                     }
                 }
                 InstKind::Store { ptr, value } => {
-                    facts.retain(|f| {
-                        aa.alias(module, fid, f.ptr, *ptr) == AliasResult::NoAlias
-                    });
+                    facts.retain(|f| aa.alias(module, fid, f.ptr, *ptr) == AliasResult::NoAlias);
                     facts.push(Avail { ptr: *ptr, value: *value });
                 }
                 // Calls may read or write anything reachable.
@@ -131,10 +129,9 @@ fn must_alias(module: &Module, fid: FuncId, aa: &dyn AliasAnalysis, p1: Value, p
         return true;
     }
     match (&func.inst(s1).kind, &func.inst(s2).kind) {
-        (
-            InstKind::Gep { base: b1, offset: o1 },
-            InstKind::Gep { base: b2, offset: o2 },
-        ) => strip(*b1) == strip(*b2) && strip(*o1) == strip(*o2),
+        (InstKind::Gep { base: b1, offset: o1 }, InstKind::Gep { base: b2, offset: o2 }) => {
+            strip(*b1) == strip(*b2) && strip(*o1) == strip(*o2)
+        }
         _ => false,
     }
 }

@@ -99,9 +99,7 @@ impl DepGraph {
                     if ri == rj {
                         continue;
                     }
-                    if aa.alias(module, fid, accesses[i].1, accesses[j].1)
-                        != AliasResult::NoAlias
-                    {
+                    if aa.alias(module, fid, accesses[i].1, accesses[j].1) != AliasResult::NoAlias {
                         parent[ri] = rj;
                     }
                 }

@@ -135,12 +135,7 @@ impl PentagonAnalysis {
             .sum()
     }
 
-    fn state_after_def(
-        &self,
-        module: &Module,
-        f: FuncId,
-        v: Value,
-    ) -> Option<Rc<PentagonState>> {
+    fn state_after_def(&self, module: &Module, f: FuncId, v: Value) -> Option<Rc<PentagonState>> {
         if let Some(cached) = self.after_def.borrow().get(&(f, v)) {
             return cached.clone();
         }
@@ -199,17 +194,14 @@ fn analyze_function(func: &Function) -> FuncStates {
             }
         }
 
-        let edges: Vec<(BlockId, Option<(Value, bool)>)> = match func
-            .terminator(b)
-            .map(|t| &func.inst(t).kind)
-        {
-            Some(InstKind::Br { cond, then_bb, else_bb }) => vec![
-                (*then_bb, Some((*cond, true))),
-                (*else_bb, Some((*cond, false))),
-            ],
-            Some(InstKind::Jump(t)) => vec![(*t, None)],
-            _ => vec![],
-        };
+        let edges: Vec<(BlockId, Option<(Value, bool)>)> =
+            match func.terminator(b).map(|t| &func.inst(t).kind) {
+                Some(InstKind::Br { cond, then_bb, else_bb }) => {
+                    vec![(*then_bb, Some((*cond, true))), (*else_bb, Some((*cond, false)))]
+                }
+                Some(InstKind::Jump(t)) => vec![(*t, None)],
+                _ => vec![],
+            };
 
         for (succ, refinement) in edges {
             let mut es = st.clone();
@@ -522,9 +514,7 @@ mod tests {
         func.value_ids()
             .filter(|&v| match func.inst(v).kind {
                 InstKind::Copy { origin: sraa_ir::CopyOrigin::SigmaTrue { .. }, .. } => true_edge,
-                InstKind::Copy { origin: sraa_ir::CopyOrigin::SigmaFalse { .. }, .. } => {
-                    !true_edge
-                }
+                InstKind::Copy { origin: sraa_ir::CopyOrigin::SigmaFalse { .. }, .. } => !true_edge,
                 _ => false,
             })
             .collect()
@@ -532,9 +522,7 @@ mod tests {
 
     #[test]
     fn branch_refinement_true_edge() {
-        let (m, p) = compiled_essa(
-            "int f(int a, int b) { if (a < b) { return a; } return 0; }",
-        );
+        let (m, p) = compiled_essa("int f(int a, int b) { if (a < b) { return a; } return 0; }");
         let fid = m.function_by_name("f").unwrap();
         let func = m.function(fid);
         // The σ-copies a_t, b_t on the true edge: a_t < b_t must hold.
@@ -548,19 +536,14 @@ mod tests {
 
     #[test]
     fn false_edge_learns_the_negation() {
-        let (m, p) = compiled_essa(
-            "int f(int a, int b) { if (a >= b) { return 0; } return a; }",
-        );
+        let (m, p) = compiled_essa("int f(int a, int b) { if (a >= b) { return 0; } return a; }");
         let fid = m.function_by_name("f").unwrap();
         let func = m.function(fid);
         // False edge of (a >= b) is a < b: the σ names are strictly
         // ordered there.
         let sigmas = sigma_copies(func, false);
         let [af, bf] = sigmas[..] else { panic!("expected 2 σ-copies, got {sigmas:?}") };
-        assert!(
-            p.proves_lt(&m, fid, af, bf) || p.proves_lt(&m, fid, bf, af),
-            "!(a >= b) is a < b"
-        );
+        assert!(p.proves_lt(&m, fid, af, bf) || p.proves_lt(&m, fid, bf, af), "!(a >= b) is a < b");
     }
 
     #[test]
@@ -572,10 +555,8 @@ mod tests {
         let func = m.function(fid);
         // The φ for i at the loop head: interval must contain [0, +∞) and
         // the analysis must have terminated (we are running this test).
-        let phi = func
-            .value_ids()
-            .find(|&v| matches!(func.inst(v).kind, InstKind::Phi { .. }))
-            .unwrap();
+        let phi =
+            func.value_ids().find(|&v| matches!(func.inst(v).kind, InstKind::Phi { .. })).unwrap();
         let iv = p.interval_at_def(&m, fid, phi).unwrap();
         assert!(iv.contains(0));
         assert!(iv.contains(1 << 40), "widened upper bound");
@@ -606,8 +587,10 @@ mod tests {
         let mut checked = 0;
         for (x, &p1) in addrs.iter().enumerate() {
             for &p2 in &addrs[x + 1..] {
-                let (InstKind::Gep { base: b1, offset: o1 }, InstKind::Gep { base: b2, offset: o2 }) =
-                    (&func.inst(p1).kind, &func.inst(p2).kind)
+                let (
+                    InstKind::Gep { base: b1, offset: o1 },
+                    InstKind::Gep { base: b2, offset: o2 },
+                ) = (&func.inst(p1).kind, &func.inst(p2).kind)
                 else {
                     continue;
                 };
@@ -703,14 +686,11 @@ mod tests {
 
     #[test]
     fn unreachable_code_has_no_facts() {
-        let (m, p) = compiled(
-            "int f(int a) { return a; int b = a + 1; return b; }",
-        );
+        let (m, p) = compiled("int f(int a) { return a; int b = a + 1; return b; }");
         let fid = m.function_by_name("f").unwrap();
         let func = m.function(fid);
-        if let Some(b) = func
-            .value_ids()
-            .find(|&v| matches!(func.inst(v).kind, InstKind::Binary { .. }))
+        if let Some(b) =
+            func.value_ids().find(|&v| matches!(func.inst(v).kind, InstKind::Binary { .. }))
         {
             let a = func.param_value(0);
             assert!(!p.proves_lt(&m, fid, a, b), "no facts in dead code");
@@ -729,7 +709,9 @@ mod tests {
         // r at the return: φ(0, 1) would be [0,1]; with pruning it is [0,0].
         let ret_block = func
             .block_ids()
-            .find(|&b| matches!(func.terminator(b).map(|t| &func.inst(t).kind), Some(InstKind::Ret(_))))
+            .find(|&b| {
+                matches!(func.terminator(b).map(|t| &func.inst(t).kind), Some(InstKind::Ret(_)))
+            })
             .unwrap();
         let ret = func.terminator(ret_block).unwrap();
         if let InstKind::Ret(Some(rv)) = func.inst(ret).kind {
@@ -750,8 +732,7 @@ mod tests {
         // entry state); any additional block inherits every live value.
         let (_, p0) = compiled("int f(int a) { int b = a + 1; return b; }");
         assert_eq!(p0.total_bindings(), 0);
-        let (_, p) =
-            compiled("int f(int a) { int b = 0; if (a > 0) { b = a; } return b; }");
+        let (_, p) = compiled("int f(int a) { int b = 0; if (a > 0) { b = a; } return b; }");
         assert!(p.total_bindings() > 0, "multi-block functions pay the dense footprint");
     }
 }

@@ -187,12 +187,7 @@ impl PentagonState {
         ValueSnapshot {
             interval: self.interval(u),
             above: self.subs.get(&u).cloned().unwrap_or_default(),
-            below: self
-                .subs
-                .iter()
-                .filter(|(_, s)| s.contains(&u))
-                .map(|(&w, _)| w)
-                .collect(),
+            below: self.subs.iter().filter(|(_, s)| s.contains(&u)).map(|(&w, _)| w).collect(),
         }
     }
 

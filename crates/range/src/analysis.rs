@@ -91,10 +91,7 @@ pub fn analyze_with(module: &Module, cfg: RangeConfig) -> RangeAnalysis {
     }
 
     let mut summaries = Summaries {
-        params: module
-            .functions()
-            .map(|(_, f)| vec![Interval::TOP; f.params.len()])
-            .collect(),
+        params: module.functions().map(|(_, f)| vec![Interval::TOP; f.params.len()]).collect(),
         rets: vec![Interval::TOP; nf],
     };
 
@@ -150,13 +147,12 @@ fn collect_summaries(
         for b in f.block_ids() {
             for (_, data) in f.block_insts(b) {
                 match &data.kind {
-                    InstKind::Call { callee, args }
-                        if internally_called[callee.index()] => {
-                            for (i, a) in args.iter().enumerate() {
-                                let slot = &mut params[callee.index()][i];
-                                *slot = slot.join(&get(*a));
-                            }
+                    InstKind::Call { callee, args } if internally_called[callee.index()] => {
+                        for (i, a) in args.iter().enumerate() {
+                            let slot = &mut params[callee.index()][i];
+                            *slot = slot.join(&get(*a));
                         }
+                    }
                     InstKind::Ret(Some(v)) => {
                         let slot = &mut rets[fid.index()];
                         *slot = slot.join(&get(*v));
@@ -314,7 +310,9 @@ fn eval(
             let base = get(*src);
             match origin {
                 CopyOrigin::Plain | CopyOrigin::SubSplit { .. } => base,
-                CopyOrigin::SigmaTrue { cmp } => base.meet(&sigma_refinement(f, env, *cmp, *src, true)),
+                CopyOrigin::SigmaTrue { cmp } => {
+                    base.meet(&sigma_refinement(f, env, *cmp, *src, true))
+                }
                 CopyOrigin::SigmaFalse { cmp } => {
                     base.meet(&sigma_refinement(f, env, *cmp, *src, false))
                 }
@@ -337,7 +335,13 @@ fn eval(
 
 /// The interval implied for `src` by taking the `taken` edge of the branch
 /// guarded by comparison `cmp`.
-fn sigma_refinement(f: &Function, env: &[Interval], cmp: Value, src: Value, taken: bool) -> Interval {
+fn sigma_refinement(
+    f: &Function,
+    env: &[Interval],
+    cmp: Value,
+    src: Value,
+    taken: bool,
+) -> Interval {
     let InstKind::Cmp { pred, lhs, rhs } = &f.inst(cmp).kind else {
         return Interval::TOP;
     };

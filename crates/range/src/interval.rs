@@ -232,12 +232,8 @@ impl Interval {
         if *self == Interval::constant(0) || *other == Interval::constant(0) {
             return Interval::constant(0);
         }
-        let corners = [
-            (self.lo, other.lo),
-            (self.lo, other.hi),
-            (self.hi, other.lo),
-            (self.hi, other.hi),
-        ];
+        let corners =
+            [(self.lo, other.lo), (self.lo, other.hi), (self.hi, other.lo), (self.hi, other.hi)];
         let mut lo: Option<i128> = None;
         let mut hi: Option<i128> = None;
         let mut inf_lo = false;

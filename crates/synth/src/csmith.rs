@@ -125,9 +125,8 @@ impl Gen {
                 format!("{}[{}]", self.arrays[i], ix)
             }
             7 if self.ptrs.iter().any(|p| p.depth == 1) => {
-                let cands: Vec<usize> = (0..self.ptrs.len())
-                    .filter(|&i| self.ptrs[i].depth == 1)
-                    .collect();
+                let cands: Vec<usize> =
+                    (0..self.ptrs.len()).filter(|&i| self.ptrs[i].depth == 1).collect();
                 let i = cands[self.rng.gen_range(0..cands.len())];
                 let c = self.const_index();
                 let ix = self.index_str(c);

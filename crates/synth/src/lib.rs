@@ -32,7 +32,6 @@ pub struct Workload {
 pub use csmith::{generate as csmith_generate, CsmithConfig};
 pub use optk::{all as optk_all, generate as optk_generate};
 pub use spec::{
-    all as spec_all, generate_by_name as spec_generate_by_name, profiles as spec_profiles,
-    Profile,
+    all as spec_all, generate_by_name as spec_generate_by_name, profiles as spec_profiles, Profile,
 };
 pub use suite::{csmith_figure12, test_suite};

@@ -63,7 +63,12 @@ pub struct Profile {
 impl Profile {
     /// Functions per replica.
     pub fn funcs_per_replica(&self) -> usize {
-        self.stencil + self.chain + self.sorted + self.walk + self.sites + self.cstencil
+        self.stencil
+            + self.chain
+            + self.sorted
+            + self.walk
+            + self.sites
+            + self.cstencil
             + self.chase
             + self.xchase
             + self.calls
@@ -356,9 +361,7 @@ mod tests {
             let m = sraa_minic::compile(&w.source)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", w.name, w.source));
             let mut interp = sraa_ir::Interpreter::new(&m).with_step_limit(50_000_000);
-            interp
-                .run("main", &[])
-                .unwrap_or_else(|e| panic!("{} must not trap: {e:?}", w.name));
+            interp.run("main", &[]).unwrap_or_else(|e| panic!("{} must not trap: {e:?}", w.name));
         }
     }
 

@@ -110,8 +110,7 @@ mod tests {
     fn sample_of_suite_compiles() {
         for k in [0usize, 33, 66, 99] {
             let ws = test_suite(100);
-            sraa_minic::compile(&ws[k].source)
-                .unwrap_or_else(|e| panic!("{}: {e}", ws[k].name));
+            sraa_minic::compile(&ws[k].source).unwrap_or_else(|e| panic!("{}: {e}", ws[k].name));
         }
     }
 

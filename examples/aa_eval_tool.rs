@@ -27,8 +27,9 @@ int main() {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let source = match args.get(1) {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             println!("(no input file given; analysing a built-in demo program)\n");
             DEMO.to_string()
@@ -75,7 +76,11 @@ fn main() {
     for s in AaEval::run(&module, &analyses) {
         println!(
             "{:<8} {:>10} {:>10} {:>10} {:>9.2}%",
-            s.name, s.no_alias, s.may_alias, s.must_alias, s.no_alias_rate()
+            s.name,
+            s.no_alias,
+            s.may_alias,
+            s.must_alias,
+            s.no_alias_rate()
         );
     }
 }

@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --example ins_sort`.
 
-use sraa::alias::{AaEval, AliasAnalysis, AliasResult, BasicAliasAnalysis, Combined, StrictInequalityAa};
+use sraa::alias::{
+    AaEval, AliasAnalysis, AliasResult, BasicAliasAnalysis, Combined, StrictInequalityAa,
+};
 use sraa::ir::{InstKind, Interpreter};
 
 const SOURCE: &str = r#"

@@ -55,9 +55,8 @@ impl Observer for MemCounter {
 
 fn execute(module: &Module) -> (Option<i64>, u64, u64) {
     let mut mem = MemCounter::default();
-    let trace = Interpreter::new(module)
-        .run_observed("main", &[], &mut mem)
-        .expect("kernel executes");
+    let trace =
+        Interpreter::new(module).run_observed("main", &[], &mut mem).expect("kernel executes");
     (trace.result, mem.loads, mem.stores)
 }
 
@@ -65,10 +64,7 @@ fn optimise(with_lt: bool) -> (OptStats, Option<i64>, u64, u64) {
     let mut module = sraa::minic::compile(KERNEL).expect("valid MiniC");
     let lt = StrictInequalityAa::new(&mut module); // e-SSA conversion
     let aa: Box<dyn AliasAnalysis> = if with_lt {
-        Box::new(Combined::new(vec![
-            Box::new(BasicAliasAnalysis::new(&module)),
-            Box::new(lt),
-        ]))
+        Box::new(Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt)]))
     } else {
         Box::new(BasicAliasAnalysis::new(&module))
     };

@@ -100,7 +100,11 @@ fn cmd_eval(args: &[String]) -> i32 {
     for s in AaEval::run(&m, &analyses) {
         println!(
             "{:<8} {:>10} {:>10} {:>10} {:>7.2}%",
-            s.name, s.no_alias, s.may_alias, s.must_alias, s.no_alias_rate()
+            s.name,
+            s.no_alias,
+            s.may_alias,
+            s.must_alias,
+            s.no_alias_rate()
         );
     }
     0

@@ -12,10 +12,7 @@ fn run(src: &str) -> i64 {
 
 #[test]
 fn pointer_difference_is_element_scaled() {
-    assert_eq!(
-        run("int main() { int a[10]; int* p = &a[2]; int* q = &a[7]; return q - p; }"),
-        5
-    );
+    assert_eq!(run("int main() { int a[10]; int* p = &a[2]; int* q = &a[7]; return q - p; }"), 5);
 }
 
 #[test]
@@ -51,15 +48,10 @@ fn negative_indices_via_pointer_midpoint() {
 
 #[test]
 fn deep_recursion_hits_the_stack_guard() {
-    let m = sraa_minic::compile(
-        "int f(int n) { return f(n + 1); } int main() { return f(0); }",
-    )
-    .unwrap();
+    let m = sraa_minic::compile("int f(int n) { return f(n + 1); } int main() { return f(0); }")
+        .unwrap();
     let err = Interpreter::new(&m).run("main", &[]).unwrap_err();
-    assert!(matches!(
-        err,
-        sraa_ir::ExecError::StackOverflow | sraa_ir::ExecError::StepLimit
-    ));
+    assert!(matches!(err, sraa_ir::ExecError::StackOverflow | sraa_ir::ExecError::StepLimit));
 }
 
 #[test]
@@ -96,11 +88,7 @@ fn range_refines_do_while_counters() {
         }
     }
     let iv = ranges.range(fid, ret_val.unwrap());
-    assert_eq!(
-        iv.hi(),
-        sraa_range::Bound::Fin(0),
-        "¬(i > 0) pins the exit value at ≤ 0: {iv}"
-    );
+    assert_eq!(iv.hi(), sraa_range::Bound::Fin(0), "¬(i > 0) pins the exit value at ≤ 0: {iv}");
 }
 
 #[test]

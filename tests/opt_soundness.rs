@@ -10,9 +10,7 @@
 
 use sraa_alias::{AliasAnalysis, BasicAliasAnalysis, Combined, NoAa, StrictInequalityAa};
 use sraa_ir::{Frame, Interpreter, Module, Observer, Value};
-use sraa_opt::{
-    eliminate_dead_stores, eliminate_redundant_loads, hoist_invariant_loads, OptStats,
-};
+use sraa_opt::{eliminate_dead_stores, eliminate_redundant_loads, hoist_invariant_loads, OptStats};
 
 /// Counts executed loads and stores.
 #[derive(Default)]
@@ -49,18 +47,16 @@ enum Oracle {
 /// Compiles `source`, optimises under `oracle`, returns the observed
 /// result and memory counts.
 fn optimize_and_run(source: &str, name: &str, oracle: Oracle) -> (Option<i64>, u64, u64, OptStats) {
-    let mut module =
-        sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+    let mut module = sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
     // Convert to e-SSA in every configuration so all oracles see the same
     // program and the optimised modules are comparable.
     let lt = StrictInequalityAa::new(&mut module);
     let aa: Box<dyn AliasAnalysis> = match oracle {
         Oracle::None => Box::new(NoAa),
         Oracle::Ba => Box::new(BasicAliasAnalysis::new(&module)),
-        Oracle::BaLt => Box::new(Combined::new(vec![
-            Box::new(BasicAliasAnalysis::new(&module)),
-            Box::new(lt),
-        ])),
+        Oracle::BaLt => {
+            Box::new(Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt)]))
+        }
     };
     let mut stats = eliminate_redundant_loads(&mut module, aa.as_ref());
     stats += eliminate_dead_stores(&mut module, aa.as_ref());
@@ -72,8 +68,7 @@ fn optimize_and_run(source: &str, name: &str, oracle: Oracle) -> (Option<i64>, u
 
 /// The full differential check for one program.
 fn check_program(source: &str, name: &str) {
-    let module =
-        sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+    let module = sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
     let (want, base_loads, base_stores) = run_counted(&module);
 
     let mut prev = OptStats::default();

@@ -120,8 +120,5 @@ fn lt_analysis_on_folded_programs() {
             }
         }
     }
-    assert_eq!(
-        lt.alias(&m, fid, load.unwrap(), store.unwrap()),
-        AliasResult::NoAlias
-    );
+    assert_eq!(lt.alias(&m, fid, load.unwrap(), store.unwrap()), AliasResult::NoAlias);
 }

@@ -74,8 +74,7 @@ fn ir_round_trips_through_the_textual_format() {
         );
         // Behaviour survives the round trip.
         let a = Interpreter::new(&m).with_step_limit(20_000_000).run("main", &[]).unwrap();
-        let b =
-            Interpreter::new(&reparsed).with_step_limit(20_000_000).run("main", &[]).unwrap();
+        let b = Interpreter::new(&reparsed).with_step_limit(20_000_000).run("main", &[]).unwrap();
         assert_eq!(a.result, b.result, "{}", w.name);
     }
 }

@@ -11,8 +11,8 @@ use sraa_core::{generate, solve, solve_fast, GenConfig};
 use sraa_synth::{csmith_generate, spec_all, CsmithConfig};
 
 fn assert_solvers_agree(source: &str, name: &str) {
-    let mut module = sraa_minic::compile(source)
-        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let mut module =
+        sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
     let (ranges, _) = sraa_essa::transform_module(&mut module);
     let sys = generate(&module, &ranges, GenConfig::default());
 
@@ -20,16 +20,9 @@ fn assert_solvers_agree(source: &str, name: &str) {
     let fast = solve_fast(&sys.constraints, sys.num_vars);
 
     for x in 0..sys.num_vars {
-        assert_eq!(
-            base.lt_set(x),
-            fast.lt_set(x),
-            "{name}: solvers disagree on variable {x}"
-        );
+        assert_eq!(base.lt_set(x), fast.lt_set(x), "{name}: solvers disagree on variable {x}");
     }
-    assert_eq!(
-        base.stats.frozen_tops, fast.stats.frozen_tops,
-        "{name}: frozen-⊤ counts differ"
-    );
+    assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops, "{name}: frozen-⊤ counts differ");
     assert!(
         fast.stats.evals <= base.stats.pops,
         "{name}: fast solver did more work ({} evals vs {} pops)",

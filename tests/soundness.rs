@@ -12,7 +12,9 @@
 //! point of the other, so every check fires at a definition point, against
 //! the currently live values of the same frame.
 
-use sraa_alias::{AliasAnalysis, AliasResult, AndersenAnalysis, BasicAliasAnalysis, StrictInequalityAa};
+use sraa_alias::{
+    AliasAnalysis, AliasResult, AndersenAnalysis, BasicAliasAnalysis, StrictInequalityAa,
+};
 use sraa_ir::{Cfg, Frame, FuncId, Interpreter, Liveness, Module, Observer, Type, Value};
 
 /// What must hold when `watched`'s definition executes.
@@ -282,13 +284,7 @@ fn range_offset_criterion_is_dynamically_sound() {
             let mut obs = SoundnessObserver { checks: &checks, violations: Vec::new() };
             let mut interp = Interpreter::new(&module).with_step_limit(5_000_000);
             interp.run_observed("main", &[], &mut obs).unwrap();
-            assert!(
-                obs.violations.is_empty(),
-                "{}: {:?}\n{}",
-                w.name,
-                obs.violations,
-                w.source
-            );
+            assert!(obs.violations.is_empty(), "{}: {:?}\n{}", w.name, obs.violations, w.source);
         }
     }
 }

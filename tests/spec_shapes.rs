@@ -89,10 +89,7 @@ fn figure10_complementarity() {
     let p = Prepared::new(&w);
     let out = p.eval(&[&p.ba_plus_lt(), &p.ba_plus_cf()]);
     let ratio = out[1].no_alias_rate() / out[0].no_alias_rate();
-    assert!(
-        (2.0..4.5).contains(&ratio),
-        "omnetpp: BA+CF / BA+LT ≈ 3 (paper), got {ratio:.2}"
-    );
+    assert!((2.0..4.5).contains(&ratio), "omnetpp: BA+CF / BA+LT ≈ 3 (paper), got {ratio:.2}");
 
     // lbm/milc/gobmk: LT wins by > 20%.
     for name in ["lbm", "milc", "gobmk"] {
@@ -143,10 +140,7 @@ fn solver_behaves_linearly_in_practice() {
         }
     }
     let ratio = pops as f64 / constraints as f64;
-    assert!(
-        (1.0..4.0).contains(&ratio),
-        "pops per constraint ≈ 2 (paper 2.12), got {ratio:.2}"
-    );
+    assert!((1.0..4.0).contains(&ratio), "pops per constraint ≈ 2 (paper 2.12), got {ratio:.2}");
     // The first eight profiles include the chain/stencil-heavy members
     // (deliberately large LT sets); over the full 116-benchmark corpus the
     // `scalability` binary measures 95.9% ≤ 2 (paper: >95%).

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs each routine for a
+//! small, bounded number of iterations and prints the mean wall-clock
+//! time — enough to compare orders of magnitude and to keep
+//! `cargo bench` runs short. Swap for the real crate when a registry is
+//! reachable; no bench source changes are required.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The stub runs one
+/// routine call per batch regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifier for a parameterised benchmark, e.g. `solver/chain/2000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark identifier: `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean time per iteration of the most recent `iter*` call.
+    elapsed: Duration,
+    iters_done: u64,
+    max_iters: u64,
+}
+
+impl Bencher {
+    fn new(max_iters: u64) -> Self {
+        Bencher { elapsed: Duration::ZERO, iters_done: 0, max_iters }
+    }
+
+    /// Time `routine` repeatedly. Stops after `max_iters` iterations or
+    /// ~1s of accumulated runtime, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        while n < self.max_iters && total < Duration::from_secs(1) {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            n += 1;
+        }
+        self.elapsed = total / n.max(1) as u32;
+        self.iters_done = n;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        while n < self.max_iters && total < Duration::from_secs(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            n += 1;
+        }
+        self.elapsed = total / n.max(1) as u32;
+        self.iters_done = n;
+    }
+}
+
+fn run_one(group: Option<&str>, id: &BenchmarkId, sample_size: u64, f: impl FnOnce(&mut Bencher)) {
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    println!("bench {name:<48} {:>12.3?}/iter ({} iters)", b.elapsed, b.iters_done);
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(None, &id.into_benchmark_id(), self.sample_size, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into_benchmark_id(), self.sample_size, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into_benchmark_id(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("baseline", "chain/1000").to_string(), "baseline/chain/1000");
+        assert_eq!(BenchmarkId::from_parameter(2000).to_string(), "2000");
+    }
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+}
