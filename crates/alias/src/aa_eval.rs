@@ -137,7 +137,7 @@ mod tests {
         let lt = StrictInequalityAa::new(&mut m);
         let ba = BasicAliasAnalysis::new(&m);
         let ba2 = BasicAliasAnalysis::new(&m);
-        let lt2 = StrictInequalityAa::from_analysis(lt.analysis().clone());
+        let lt2 = lt.clone();
         let combined = Combined::new(vec![Box::new(ba2), Box::new(lt2)]);
         let out = AaEval::run(&m, &[&ba, &lt, &combined]);
         let (ba_s, lt_s, both) = (&out[0], &out[1], &out[2]);

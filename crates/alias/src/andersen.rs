@@ -45,7 +45,7 @@ impl AndersenAnalysis {
 
     /// The points-to set of `v` (object indices; internal numbering).
     fn pts_of(&self, f: FuncId, v: Value) -> &DenseBitSet {
-        &self.pts[self.index.id(f, v)]
+        &self.pts[self.index.id(f, v).index()]
     }
 }
 
@@ -101,11 +101,11 @@ impl<'m> ConstraintBuilder<'m> {
                 for (v, data) in f.block_insts(b) {
                     match data.kind {
                         InstKind::Alloca { .. } | InstKind::Malloc { .. } => {
-                            site_obj[index.id(fid, v)] = Some(num_objects);
+                            site_obj[index.id(fid, v).index()] = Some(num_objects);
                             num_objects += 1;
                         }
                         InstKind::GlobalAddr(g) => {
-                            site_obj[index.id(fid, v)] = Some(global_base + g.index());
+                            site_obj[index.id(fid, v).index()] = Some(global_base + g.index());
                         }
                         _ => {}
                     }
@@ -147,7 +147,7 @@ impl<'m> ConstraintBuilder<'m> {
             let is_ptr = |v: Value| f.value_type(v).is_some_and(Type::is_ptr);
             for b in f.block_ids() {
                 for (v, data) in f.block_insts(b) {
-                    let vid = self.index.id(fid, v);
+                    let vid = self.index.id(fid, v).index();
                     match &data.kind {
                         InstKind::Alloca { .. }
                         | InstKind::Malloc { .. }
@@ -156,24 +156,24 @@ impl<'m> ConstraintBuilder<'m> {
                             pts[vid].insert(o);
                         }
                         InstKind::Copy { src, .. } if is_ptr(v) => {
-                            edges[self.index.id(fid, *src)].push(vid as u32);
+                            edges[self.index.id(fid, *src).index()].push(vid as u32);
                         }
                         InstKind::Gep { base, .. } if is_ptr(v) => {
                             // Field-insensitive: derived pointer points
                             // wherever its base points.
-                            edges[self.index.id(fid, *base)].push(vid as u32);
+                            edges[self.index.id(fid, *base).index()].push(vid as u32);
                         }
                         InstKind::Phi { incomings } if is_ptr(v) => {
                             for (_, x) in incomings {
-                                edges[self.index.id(fid, *x)].push(vid as u32);
+                                edges[self.index.id(fid, *x).index()].push(vid as u32);
                             }
                         }
                         InstKind::Load { ptr } if is_ptr(v) => {
-                            loads[self.index.id(fid, *ptr)].push(vid as u32);
+                            loads[self.index.id(fid, *ptr).index()].push(vid as u32);
                         }
                         InstKind::Store { ptr, value } if is_ptr(*value) => {
-                            stores[self.index.id(fid, *ptr)]
-                                .push(self.index.id(fid, *value) as u32);
+                            stores[self.index.id(fid, *ptr).index()]
+                                .push(self.index.id(fid, *value).raw());
                         }
                         InstKind::Param(i) if is_ptr(v) => {
                             if internally_called[fid.index()] {
@@ -192,7 +192,7 @@ impl<'m> ConstraintBuilder<'m> {
                             for (i, a) in args.iter().enumerate() {
                                 if f.value_type(*a).is_some_and(Type::is_ptr) {
                                     let formal = self.index.id(*callee, cf.param_value(i));
-                                    edges[self.index.id(fid, *a)].push(formal as u32);
+                                    edges[self.index.id(fid, *a).index()].push(formal.raw());
                                 }
                             }
                             // Return → result edges.
@@ -200,7 +200,8 @@ impl<'m> ConstraintBuilder<'m> {
                                 for cb in cf.block_ids() {
                                     if let Some(t) = cf.terminator(cb) {
                                         if let InstKind::Ret(Some(r)) = cf.inst(t).kind {
-                                            edges[self.index.id(*callee, r)].push(vid as u32);
+                                            edges[self.index.id(*callee, r).index()]
+                                                .push(vid as u32);
                                         }
                                     }
                                 }

@@ -201,7 +201,7 @@ impl SteensgaardAnalysis {
 
     fn class_info(&self, f: FuncId, v: Value) -> (u32, bool, bool) {
         // Immutable find (no path compression).
-        let mut x = self.index.id(f, v) as u32;
+        let mut x = self.index.id(f, v).raw();
         while self.uf.parent[x as usize] != x {
             x = self.uf.parent[x as usize];
         }
@@ -219,7 +219,7 @@ impl SteensgaardAnalysis {
 }
 
 fn self_id(index: &VarIndex, f: FuncId, v: Value) -> usize {
-    index.id(f, v)
+    index.id(f, v).index()
 }
 
 impl AliasAnalysis for SteensgaardAnalysis {

@@ -90,8 +90,14 @@ fn bench_closure_vs_on_demand(c: &mut Criterion) {
     });
     // Query workload: a deterministic sample of pairs.
     let n = sys.num_vars;
-    let pairs: Vec<(usize, usize)> =
-        (0..2000).map(|i| ((i * 7919) % n, (i * 104729) % n)).collect();
+    let pairs: Vec<(sraa_core::VarId, sraa_core::VarId)> = (0..2000)
+        .map(|i| {
+            (
+                sraa_core::VarId::from_index((i * 7919) % n),
+                sraa_core::VarId::from_index((i * 104729) % n),
+            )
+        })
+        .collect();
     let solution = sraa_core::solve(&sys.constraints, sys.num_vars);
     group.bench_function("closure/2000_queries", |b| {
         b.iter(|| {

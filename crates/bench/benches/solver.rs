@@ -5,14 +5,18 @@
 //! which measure the end-to-end behaviour.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sraa_core::{generate, solve, solve_fast, Constraint, GenConfig};
+use sraa_core::{generate, solve, Constraint, GenConfig, SolverKind, VarId};
+
+fn v(i: usize) -> VarId {
+    VarId::from_index(i)
+}
 
 /// x0 = •; x_{i+1} = x_i + 1 — the transitive-closure worst case for set
 /// sizes (LT(x_n) has n elements).
 fn chain(n: usize) -> Vec<Constraint> {
-    let mut cs = vec![Constraint::Init { x: 0 }];
+    let mut cs = vec![Constraint::Init { x: v(0) }];
     for i in 1..n {
-        cs.push(Constraint::Union { x: i, elems: vec![i - 1], sources: vec![i - 1] });
+        cs.push(Constraint::Union { x: v(i), elems: vec![v(i - 1)], sources: vec![v(i - 1)] });
     }
     cs
 }
@@ -22,9 +26,13 @@ fn loops(k: usize) -> Vec<Constraint> {
     let mut cs = Vec::with_capacity(3 * k);
     for l in 0..k {
         let base = 3 * l;
-        cs.push(Constraint::Init { x: base });
-        cs.push(Constraint::Inter { x: base + 1, sources: vec![base, base + 2] });
-        cs.push(Constraint::Union { x: base + 2, elems: vec![base + 1], sources: vec![base + 1] });
+        cs.push(Constraint::Init { x: v(base) });
+        cs.push(Constraint::Inter { x: v(base + 1), sources: vec![v(base), v(base + 2)] });
+        cs.push(Constraint::Union {
+            x: v(base + 2),
+            elems: vec![v(base + 1)],
+            sources: vec![v(base + 1)],
+        });
     }
     cs
 }
@@ -60,6 +68,8 @@ fn bench_loops(c: &mut Criterion) {
 /// work) on the three shapes that matter: the quadratic chain worst case,
 /// φ-loop-heavy systems, and a real constraint system from the evaluation
 /// corpus (SPEC `gobmk`, the paper's headline combination benchmark).
+/// Both run through the engine's `FixpointSolver` strategy objects, the
+/// exact path the `DisambiguationEngine` takes.
 fn bench_solver_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
     group.sample_size(20);
@@ -77,12 +87,14 @@ fn bench_solver_comparison(c: &mut Criterion) {
     };
 
     for (name, cs, n) in &shapes {
-        group.bench_with_input(BenchmarkId::new("baseline", name), &(cs, *n), |b, (cs, n)| {
-            b.iter(|| std::hint::black_box(solve(cs, *n).stats.pops))
-        });
-        group.bench_with_input(BenchmarkId::new("scc", name), &(cs, *n), |b, (cs, n)| {
-            b.iter(|| std::hint::black_box(solve_fast(cs, *n).stats.evals))
-        });
+        for kind in SolverKind::ALL {
+            let solver = kind.solver();
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), name),
+                &(cs, *n),
+                |b, (cs, n)| b.iter(|| std::hint::black_box(solver.solve(cs, *n).stats.pops)),
+            );
+        }
     }
     group.finish();
 }

@@ -12,7 +12,7 @@ fn main() {
     let mut rows: Vec<(String, usize, usize)> = Vec::new(); // (name, instrs, constraints)
     for w in &ws {
         let p = Prepared::new(w);
-        rows.push((p.name.clone(), p.stats.instructions, p.lt.analysis().stats().constraints));
+        rows.push((p.name.clone(), p.stats.instructions, p.lt.engine().stats().constraints));
     }
     rows.sort_by_key(|(_, instrs, _)| *instrs);
     let rows: Vec<_> = rows.into_iter().rev().take(50).rev().collect();

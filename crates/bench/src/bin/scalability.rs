@@ -1,67 +1,162 @@
-//! §4.2 scalability statistics:
+//! §4.2 scalability statistics, per solver strategy:
 //!
-//! * worklist pops per constraint (paper: ≈ 2.12 over SPEC + test-suite);
+//! * constraint evaluations per constraint (paper: ≈ 2.12 worklist pops
+//!   over SPEC + test-suite; the SCC strategy's analogue is ≤ that);
 //! * solve time vs number of constraints (paper: R² = 0.988);
-//! * the LT-set size distribution (paper: > 95% of sets have ≤ 2 elements).
+//! * the LT-set size distribution (paper: > 95% of sets have ≤ 2
+//!   elements);
+//! * worklist vs SCC wall-clock totals — the check that the engine's
+//!   default path ([`SolverKind::Scc`]) is no slower than the baseline.
+//!
+//! Besides the human-readable table, the run emits machine-readable
+//! `BENCH_scalability.json` in the working directory so CI can track the
+//! performance trajectory across commits.
 
 use sraa_bench::{r_squared, suite_n};
+use sraa_core::SolverKind;
+use std::fmt::Write as _;
 use std::time::Instant;
+
+struct SolverTotals {
+    kind: SolverKind,
+    total_us: f64,
+    total_evals: u64,
+    xs: Vec<f64>, // constraints
+    ys: Vec<f64>, // best-of-three solve time (µs)
+}
 
 fn main() {
     let mut ws = sraa_synth::test_suite(suite_n());
     ws.extend(sraa_synth::spec_all());
 
     let mut total_constraints = 0u64;
-    let mut total_pops = 0u64;
-    let mut xs = Vec::new(); // constraints
-    let mut ys = Vec::new(); // solve+pipeline time (µs)
     let mut size_hist: std::collections::BTreeMap<usize, usize> = Default::default();
+    let mut totals: Vec<SolverTotals> = SolverKind::ALL
+        .into_iter()
+        .map(|kind| SolverTotals {
+            kind,
+            total_us: 0.0,
+            total_evals: 0,
+            xs: Vec::new(),
+            ys: Vec::new(),
+        })
+        .collect();
 
     for w in &ws {
         // The paper's §4.2 question is specifically about *constraint
-        // solving*: prepare the system outside the timer, then time the
-        // worklist solver alone.
+        // solving*: prepare the system outside the timer, then time each
+        // strategy alone, through the engine's `FixpointSolver` objects.
         let mut m = sraa_minic::compile(&w.source).expect("workloads compile");
         let (ranges, _) = sraa_essa::transform_module(&mut m);
         let sys = sraa_core::generate(&m, &ranges, Default::default());
-        // Best of three runs to suppress timer noise on tiny systems.
-        let mut dt = f64::INFINITY;
-        let mut solution = None;
-        for _ in 0..3 {
-            let t0 = Instant::now();
-            let sol = sraa_core::solve(&sys.constraints, sys.num_vars);
-            dt = dt.min(t0.elapsed().as_secs_f64() * 1e6);
-            solution = Some(sol);
-        }
-        let solution = solution.expect("ran at least once");
-        let stats = &solution.stats;
-        total_constraints += stats.constraints as u64;
-        total_pops += stats.pops;
-        xs.push(stats.constraints as f64);
-        ys.push(dt);
-        for (sz, n) in solution.size_histogram() {
-            *size_hist.entry(sz).or_default() += n;
+        total_constraints += sys.constraints.len() as u64;
+
+        for t in &mut totals {
+            let solver = t.kind.solver();
+            // Best of three runs to suppress timer noise on tiny systems.
+            let mut dt = f64::INFINITY;
+            let mut solution = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let sol = solver.solve(&sys.constraints, sys.num_vars);
+                dt = dt.min(t0.elapsed().as_secs_f64() * 1e6);
+                solution = Some(sol);
+            }
+            let solution = solution.expect("ran at least once");
+            t.total_us += dt;
+            t.total_evals += solution.stats.pops;
+            t.xs.push(solution.stats.constraints as f64);
+            t.ys.push(dt);
+            if t.kind == SolverKind::Scc {
+                for (sz, n) in solution.size_histogram() {
+                    *size_hist.entry(sz).or_default() += n;
+                }
+            }
         }
     }
 
     println!("benchmarks analysed      : {}", ws.len());
     println!("total constraints        : {total_constraints}");
-    println!("total worklist pops      : {total_pops}");
+    for t in &totals {
+        println!(
+            "{:<9} evals/constraint : {:.2}   total {:.0}µs   R²(time, #constraints) {:.4}",
+            t.kind.as_str(),
+            t.total_evals as f64 / total_constraints.max(1) as f64,
+            t.total_us,
+            r_squared(&t.xs, &t.ys),
+        );
+    }
+    println!("(paper: 2.12 pops/constraint, R² = 0.988 for the worklist)");
+
+    let worklist = &totals[0];
+    let scc = &totals[1];
+    assert_eq!((worklist.kind, scc.kind), (SolverKind::Worklist, SolverKind::Scc));
     println!(
-        "pops per constraint      : {:.2}   (paper: 2.12)",
-        total_pops as f64 / total_constraints.max(1) as f64
+        "scc vs worklist          : {:.2}x wall-clock, {:.2}x evals (engine default: scc)",
+        worklist.total_us / scc.total_us.max(1e-9),
+        worklist.total_evals as f64 / scc.total_evals.max(1) as f64
     );
-    println!("R²(time, #constraints)   : {:.4}  (paper: 0.988)", r_squared(&xs, &ys));
 
     let total_vars: usize = size_hist.values().sum();
     let small: usize = size_hist.iter().filter(|(s, _)| **s <= 2).map(|(_, n)| n).sum();
-    println!(
-        "LT sets with ≤ 2 elements: {:.1}%  (paper: >95%)",
-        small as f64 / total_vars.max(1) as f64 * 100.0
-    );
+    let small_pct = small as f64 / total_vars.max(1) as f64 * 100.0;
+    println!("LT sets with ≤ 2 elements: {small_pct:.1}%  (paper: >95%)");
     println!();
     println!("LT set size histogram (size: count):");
     for (sz, n) in size_hist.iter().take(12) {
         println!("  {sz:>3}: {n}");
     }
+
+    let json = render_json(&ws.len(), total_constraints, &totals, small_pct, &size_hist);
+    let path = "BENCH_scalability.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncannot write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON — the workspace is offline and the numbers are flat.
+fn render_json(
+    workloads: &usize,
+    total_constraints: u64,
+    totals: &[SolverTotals],
+    small_pct: f64,
+    size_hist: &std::collections::BTreeMap<usize, usize>,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"workloads\": {workloads},");
+    let _ = writeln!(s, "  \"total_constraints\": {total_constraints},");
+    s.push_str("  \"solvers\": [\n");
+    for (i, t) in totals.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"total_us\": {:.1}, \"total_evals\": {}, \
+             \"evals_per_constraint\": {:.4}, \"r2_time_vs_constraints\": {:.4}}}{}",
+            t.kind.as_str(),
+            t.total_us,
+            t.total_evals,
+            t.total_evals as f64 / total_constraints.max(1) as f64,
+            r_squared(&t.xs, &t.ys),
+            if i + 1 < totals.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"scc_speedup_over_worklist\": {:.4},",
+        totals[0].total_us / totals[1].total_us.max(1e-9)
+    );
+    let _ = writeln!(s, "  \"default_solver\": \"{}\",", SolverKind::default().as_str());
+    let _ = writeln!(s, "  \"lt_sets_le2_pct\": {small_pct:.2},");
+    s.push_str("  \"size_histogram\": {");
+    let mut first = true;
+    for (sz, n) in size_hist {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(s, "\"{sz}\": {n}");
+    }
+    s.push_str("}\n}\n");
+    s
 }

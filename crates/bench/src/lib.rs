@@ -22,7 +22,7 @@ use sraa_alias::{
     AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, Combined, EvalSummary,
     StrictInequalityAa,
 };
-use sraa_core::GenConfig;
+use sraa_core::{EngineConfig, GenConfig};
 use sraa_ir::{Module, ModuleStats};
 use sraa_synth::Workload;
 
@@ -53,20 +53,25 @@ impl Prepared {
 
     /// [`Prepared::new`] with an explicit LT configuration.
     pub fn with_config(w: &Workload, cfg: GenConfig) -> Prepared {
+        Self::with_engine_config(w, EngineConfig::from(cfg))
+    }
+
+    /// [`Prepared::new`] with a full engine configuration (constraint
+    /// options + [`sraa_core::SolverKind`] strategy).
+    pub fn with_engine_config(w: &Workload, cfg: EngineConfig) -> Prepared {
         let mut module = sraa_minic::compile(&w.source)
             .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name));
-        let lt = StrictInequalityAa::with_config(&mut module, cfg);
+        let lt = StrictInequalityAa::with_engine_config(&mut module, cfg);
         let ba = BasicAliasAnalysis::new(&module);
         let stats = ModuleStats::compute(&module);
         Prepared { name: w.name.clone(), module, lt, ba, stats }
     }
 
-    /// The BA+LT combination (fresh instances, same underlying results).
+    /// The BA+LT combination. The LT handle shares the prepared engine —
+    /// its solved relation and memo cache — instead of re-running the
+    /// pipeline.
     pub fn ba_plus_lt(&self) -> Combined {
-        Combined::new(vec![
-            Box::new(self.ba.clone()),
-            Box::new(StrictInequalityAa::from_analysis(self.lt.analysis().clone())),
-        ])
+        Combined::new(vec![Box::new(self.ba.clone()), Box::new(self.lt.clone())])
     }
 
     /// The BA+CF combination (builds the Andersen analysis on demand).
@@ -110,6 +115,7 @@ pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sraa_core::SolverKind;
 
     #[test]
     fn r_squared_of_perfect_line_is_one() {
@@ -124,6 +130,20 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let ys: Vec<f64> = (0..100).map(|i| (i * 2654435761u64 % 97) as f64).collect();
         assert!(r_squared(&xs, &ys) < 0.3);
+    }
+
+    #[test]
+    fn prepared_strategies_agree() {
+        let w = Workload {
+            name: "t".into(),
+            source: "int f(int* v, int n) { for (int i = 0; i + 1 < n; i++) v[i] = v[i+1]; return 0; } int main() { int a[8]; return f(a, 8); }".into(),
+        };
+        let scc = Prepared::new(&w);
+        let wl = Prepared::with_engine_config(
+            &w,
+            EngineConfig { solver: SolverKind::Worklist, ..Default::default() },
+        );
+        assert_eq!(scc.eval(&[&scc.lt]), wl.eval(&[&wl.lt]));
     }
 
     #[test]

@@ -1,194 +1,24 @@
-//! The end-to-end strict-inequality analysis pipeline.
+//! The paper-facing surface of the end-to-end pipeline.
 //!
 //! ```text
 //! SSA module ──σ-split──▶ e-SSA ──range──▶ intervals ──sub-split──▶ e-SSA(full)
-//!            ──Figure 7──▶ constraints ──worklist──▶ LT sets
+//!            ──Figure 7──▶ constraints ──fixpoint──▶ LT sets
 //! ```
 //!
-//! [`StrictInequalityAnalysis::run`] performs the whole pipeline, mutating
-//! the module into e-SSA form (the paper's `vSSA` pass) and solving the
-//! constraint system (the paper's `sraa` pass).
+//! The pipeline itself lives in the
+//! [`DisambiguationEngine`] — this
+//! module keeps the paper's name for it ([`StrictInequalityAnalysis`])
+//! plus the two IR-walking helpers Definition 3.11 needs
+//! ([`derived_pointer`], [`strip_copies`]).
 
-use crate::constraints::{self, GenConfig};
-use crate::solver::{self, Solution, SolveStats};
-use crate::var_index::VarIndex;
-use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
-use sraa_range::RangeAnalysis;
+use crate::engine::DisambiguationEngine;
+use sraa_ir::{Function, InstKind, Value};
 
-/// The solved less-than relation over a whole module, plus the pointer
-/// disambiguation criteria of the paper's Definition 3.11.
-#[derive(Clone, Debug)]
-pub struct StrictInequalityAnalysis {
-    index: VarIndex,
-    solution: Solution,
-    ranges: RangeAnalysis,
-    cfg: GenConfig,
-}
-
-impl StrictInequalityAnalysis {
-    /// Runs the full pipeline with default (paper-faithful) settings.
-    ///
-    /// The module is mutated: it is converted to e-SSA form first.
-    pub fn run(module: &mut Module) -> Self {
-        Self::run_with(module, GenConfig::default())
-    }
-
-    /// Runs the full pipeline with an explicit configuration.
-    pub fn run_with(module: &mut Module, cfg: GenConfig) -> Self {
-        let (ranges, _) = sraa_essa::transform_module(module);
-        Self::on_prepared(module, &ranges, cfg)
-    }
-
-    /// Analyzes a module that is *already* in e-SSA form, with
-    /// caller-provided ranges. Useful when the caller also needs the
-    /// intermediate artifacts.
-    pub fn on_prepared(module: &Module, ranges: &RangeAnalysis, cfg: GenConfig) -> Self {
-        let index = VarIndex::new(module);
-        let mut sys = constraints::generate_with_index(module, ranges, cfg, &index);
-        let mut solution = solver::solve(&sys.constraints, sys.num_vars);
-
-        // Parameter-pair refinement (see `GenConfig::param_pairs`): when
-        // every internal call site orders two arguments, the corresponding
-        // formals are ordered for the whole frame. Each round may unlock
-        // further pairs (arguments that are themselves parameters), so
-        // iterate; the element sets only grow, bounded by #param².
-        if cfg.param_pairs {
-            loop {
-                let mut added = false;
-                for info in &sys.param_info {
-                    if info.sites.is_empty() {
-                        continue;
-                    }
-                    for (i, &pi) in info.params.iter().enumerate() {
-                        for (j, &pj) in info.params.iter().enumerate() {
-                            if i == j || solution.less_than(pi, pj) {
-                                continue;
-                            }
-                            let Some(&cu) = sys.param_union.get(&pj) else { continue };
-                            let holds_everywhere = info.sites.iter().all(|site| {
-                                matches!((site[i], site[j]), (Some(a), Some(b))
-                                    if solution.less_than(a, b))
-                            });
-                            if holds_everywhere {
-                                if let constraints::Constraint::Union { elems, .. } =
-                                    &mut sys.constraints[cu]
-                                {
-                                    elems.push(pi);
-                                    added = true;
-                                }
-                            }
-                        }
-                    }
-                }
-                if !added {
-                    break;
-                }
-                solution = solver::solve(&sys.constraints, sys.num_vars);
-            }
-        }
-
-        Self { index, solution, ranges: ranges.clone(), cfg }
-    }
-
-    /// Whether `a < b` is proven: `a ∈ LT(b)`.
-    pub fn less_than(&self, f: FuncId, a: Value, b: Value) -> bool {
-        self.solution.less_than(self.index.id(f, a), self.index.id(f, b))
-    }
-
-    /// Cross-function variant (the relation is module-wide; meaningful for
-    /// values related through the inter-procedural pseudo-φs).
-    pub fn less_than_cross(&self, fa: FuncId, a: Value, fb: FuncId, b: Value) -> bool {
-        self.solution.less_than(self.index.id(fa, a), self.index.id(fb, b))
-    }
-
-    /// The `LT` set of `v`, as `(function, value)` pairs.
-    pub fn lt_set(&self, f: FuncId, v: Value) -> Vec<(FuncId, Value)> {
-        self.solution
-            .lt_set(self.index.id(f, v))
-            .into_iter()
-            .map(|id| self.index.func_of(id))
-            .collect()
-    }
-
-    /// Solver statistics (constraint count, worklist pops, …).
-    pub fn stats(&self) -> &SolveStats {
-        &self.solution.stats
-    }
-
-    /// Histogram of `LT` set sizes (the paper observes ≥95% have ≤ 2).
-    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
-        self.solution.size_histogram()
-    }
-
-    /// The paper's Definition 3.11: can `p1` and `p2` be proven disjoint?
-    ///
-    /// * Criterion 1 — `p1 ∈ LT(p2)` or `p2 ∈ LT(p1)`;
-    /// * Criterion 2 — `p1 = p + x1`, `p2 = p + x2` (same base, both
-    ///   offsets variables) with `x1 ∈ LT(x2)` or `x2 ∈ LT(x1)`.
-    ///
-    /// Both pointers must live in function `f`. Non-pointer operands
-    /// always answer `false`.
-    pub fn no_alias(&self, func: &Function, f: FuncId, p1: Value, p2: Value) -> bool {
-        if p1 == p2 {
-            return false;
-        }
-        let is_ptr = |v: Value| func.value_type(v).is_some_and(Type::is_ptr);
-        if !is_ptr(p1) || !is_ptr(p2) {
-            return false;
-        }
-        // Criterion 1.
-        if self.less_than(f, p1, p2) || self.less_than(f, p2, p1) {
-            return true;
-        }
-        // Criterion 2 (and, when enabled, the §3.6 range criterion).
-        if let (Some((b1, x1)), Some((b2, x2))) =
-            (derived_pointer(func, p1), derived_pointer(func, p2))
-        {
-            if strip_copies(func, b1) == strip_copies(func, b2) {
-                let is_var = |x: Value| !matches!(func.inst(x).kind, InstKind::Const(_));
-                if is_var(x1)
-                    && is_var(x2)
-                    && (self.less_than(f, x1, x2) || self.less_than(f, x2, x1))
-                {
-                    return true;
-                }
-            }
-        }
-        // §3.6 range criterion (opt-in): accumulate offset intervals along
-        // the whole gep chain down to a common root object; disjoint total
-        // intervals cannot overlap. This is the classic value-set
-        // disambiguation the paper cites as complementary prior work.
-        if self.cfg.range_offsets {
-            let (r1, iv1) = self.root_and_offset(func, f, p1);
-            let (r2, iv2) = self.root_and_offset(func, f, p2);
-            if r1 == r2 && iv1.meet(&iv2).is_bottom() {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Walks copies and nested `gep`s down to the root pointer, summing
-    /// the offsets' intervals.
-    fn root_and_offset(
-        &self,
-        func: &Function,
-        f: FuncId,
-        p: Value,
-    ) -> (Value, sraa_range::Interval) {
-        let mut total = sraa_range::Interval::constant(0);
-        let mut cur = strip_copies(func, p);
-        while let InstKind::Gep { base, offset } = &func.inst(cur).kind {
-            let r = match func.inst(*offset).kind {
-                InstKind::Const(c) => sraa_range::Interval::constant(c),
-                _ => self.ranges.range(f, *offset),
-            };
-            total = total.add(&r);
-            cur = strip_copies(func, *base);
-        }
-        (cur, total)
-    }
-}
+/// The paper's name for the solved analysis — an alias for the
+/// [`DisambiguationEngine`], which owns the pipeline and the query layer.
+/// `StrictInequalityAnalysis::run(&mut module)` remains the canonical
+/// entry point for paper-faithful use.
+pub type StrictInequalityAnalysis = DisambiguationEngine;
 
 /// If `p` is a derived pointer `base + offset`, returns `(base, offset)`.
 /// Copies around the `gep` are looked through.
@@ -213,6 +43,7 @@ pub fn strip_copies(func: &Function, mut v: Value) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sraa_ir::{FuncId, Module};
 
     fn analyzed(src: &str) -> (Module, StrictInequalityAnalysis) {
         let mut m = sraa_minic::compile(src).unwrap();

@@ -25,48 +25,53 @@
 //! Inter-procedural pseudo-φs (paper §4): each formal parameter gets
 //! `LT(xf) = ∩ LT(aᵢ)` over every internal call site's actual argument.
 //!
-//! Generation is `O(|V|)`: one pass over the instructions.
+//! Generation is `O(|V|)`: one pass over the instructions. Constraints
+//! address variables by interned [`VarId`]s. Functions are independent
+//! during that pass, so [`generate_with_index`] fans the per-function
+//! work out across threads ([`std::thread::scope`]) on large modules and
+//! merges the per-function outputs in function order — the emitted
+//! constraint sequence is byte-identical to a serial run.
 
-use crate::var_index::VarIndex;
+use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{BinOp, CopyOrigin, FuncId, Function, InstKind, Module, Pred, Value};
 use sraa_range::RangeAnalysis;
 
-/// A normalised constraint over flat variable ids.
+/// A normalised constraint over interned [`VarId`]s.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Constraint {
     /// `LT(x) = ∅` — rule 1 (and the empty cases of rules 2/3).
     Init {
         /// Defined variable.
-        x: usize,
+        x: VarId,
     },
     /// `LT(x) = {elems…} ∪ ⋃ LT(s)` — rules 2, 3 (copy side) and 5.
     Union {
         /// Defined variable.
-        x: usize,
+        x: VarId,
         /// Individual new elements.
-        elems: Vec<usize>,
+        elems: Vec<VarId>,
         /// Sets to union in.
-        sources: Vec<usize>,
+        sources: Vec<VarId>,
     },
     /// `LT(x) = ∩ LT(s)` — rule 4 and the inter-procedural pseudo-φs.
     Inter {
         /// Defined variable.
-        x: usize,
+        x: VarId,
         /// Sets to intersect (never empty).
-        sources: Vec<usize>,
+        sources: Vec<VarId>,
     },
     /// `LT(x) = LT(s)` — the trivial copy case.
     Copy {
         /// Defined variable.
-        x: usize,
+        x: VarId,
         /// Source variable.
-        source: usize,
+        source: VarId,
     },
 }
 
 impl Constraint {
     /// The variable the constraint defines.
-    pub fn defined(&self) -> usize {
+    pub fn defined(&self) -> VarId {
         match self {
             Constraint::Init { x }
             | Constraint::Union { x, .. }
@@ -76,7 +81,7 @@ impl Constraint {
     }
 
     /// The variables whose `LT` sets the right-hand side reads.
-    pub fn reads(&self) -> &[usize] {
+    pub fn reads(&self) -> &[VarId] {
         match self {
             Constraint::Init { .. } => &[],
             Constraint::Union { sources, .. } | Constraint::Inter { sources, .. } => sources,
@@ -128,22 +133,31 @@ pub struct ConstraintSystem {
     /// variable per pseudo-φ (holding the raw intersection, so the
     /// refinement can union extra elements into the parameter's set).
     pub num_vars: usize,
-    /// Per function: flat param ids and per-call-site argument columns
+    /// Per function: interned param ids and per-call-site argument columns
     /// (`None` marks a constant/untracked argument).
     pub param_info: Vec<ParamInfo>,
-    /// Flat param id → index of its `Union` wrapper constraint.
-    pub param_union: std::collections::HashMap<usize, usize>,
+    /// Param id → index of its `Union` wrapper constraint.
+    pub param_union: std::collections::HashMap<VarId, usize>,
 }
 
 /// Call-site summary of one function.
 #[derive(Clone, Debug)]
 pub struct ParamInfo {
-    /// Flat variable id of each formal parameter.
-    pub params: Vec<usize>,
-    /// One entry per internal call site: the flat ids of the actual
+    /// Interned id of each formal parameter.
+    pub params: Vec<VarId>,
+    /// One entry per internal call site: the interned ids of the actual
     /// arguments (`None` for constants).
-    pub sites: Vec<Vec<Option<usize>>>,
+    pub sites: Vec<Vec<Option<VarId>>>,
 }
+
+/// One call site recorded during per-function generation: the callee and
+/// the interned actual-argument column.
+type CallRecord = (FuncId, Vec<Option<VarId>>);
+
+/// Module sizes below this run the per-function pass serially — thread
+/// spawn overhead would dominate on the small modules that saturate the
+/// test corpus.
+const PARALLEL_MIN_FUNCTIONS: usize = 8;
 
 /// Generates the constraint system for a module in e-SSA form.
 pub fn generate(module: &Module, ranges: &RangeAnalysis, cfg: GenConfig) -> ConstraintSystem {
@@ -158,15 +172,40 @@ pub fn generate_with_index(
     cfg: GenConfig,
     index: &VarIndex,
 ) -> ConstraintSystem {
+    generate_with_parallelism(module, ranges, cfg, index, true)
+}
+
+/// [`generate_with_index`] with the scoped-thread fan-out forced off —
+/// the reference implementation the parallel path must match exactly
+/// (asserted by `parallel_generation_matches_the_forced_serial_pass`).
+#[cfg(test)]
+pub(crate) fn generate_serial(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+) -> ConstraintSystem {
+    generate_with_parallelism(module, ranges, cfg, index, false)
+}
+
+fn generate_with_parallelism(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+    allow_parallel: bool,
+) -> ConstraintSystem {
+    let num_funcs = module.num_functions();
+    let per_func = generate_per_function(module, ranges, cfg, index, num_funcs, allow_parallel);
+
+    // Merge in function order: the output is identical to a serial pass.
     let mut out = Vec::new();
-
-    // Call-site argument lists per callee, for the pseudo-φs.
-    let mut call_sites: Vec<Vec<Vec<Option<usize>>>> =
-        module.functions().map(|_| Vec::new()).collect();
-
-    for (fid, f) in module.functions() {
-        let mut gen = FuncGen { module, f, fid, ranges, cfg, index, out: &mut out };
-        gen.run(&mut call_sites);
+    let mut call_sites: Vec<Vec<Vec<Option<VarId>>>> = vec![Vec::new(); num_funcs];
+    for (constraints, calls) in per_func {
+        out.extend(constraints);
+        for (callee, site) in calls {
+            call_sites[callee.index()].push(site);
+        }
     }
 
     // Pseudo-φ constraints for formal parameters. `LT(xf) = ∩ᵢ LT(aᵢ)`
@@ -175,20 +214,20 @@ pub fn generate_with_index(
     // so the parameter-pair refinement can later push extra elements into
     // the Union without disturbing the intersection.
     let mut num_vars = index.len();
-    let mut param_info = Vec::with_capacity(module.num_functions());
+    let mut param_info = Vec::with_capacity(num_funcs);
     let mut param_union = std::collections::HashMap::new();
     for (fid, f) in module.functions() {
         let sites = std::mem::take(&mut call_sites[fid.index()]);
-        let params: Vec<usize> =
+        let params: Vec<VarId> =
             (0..f.params.len()).map(|i| index.id(fid, f.param_value(i))).collect();
         for (i, &x) in params.iter().enumerate() {
-            let column: Vec<Option<usize>> = sites.iter().map(|s| s[i]).collect();
+            let column: Vec<Option<VarId>> = sites.iter().map(|s| s[i]).collect();
             if column.is_empty() || column.iter().any(Option::is_none) {
                 // No internal caller, or some call passes a constant /
                 // untracked value: the intersection collapses to ∅.
                 out.push(Constraint::Init { x });
             } else {
-                let t = num_vars;
+                let t = VarId::from_index(num_vars);
                 num_vars += 1;
                 out.push(Constraint::Inter {
                     x: t,
@@ -204,18 +243,65 @@ pub fn generate_with_index(
     ConstraintSystem { constraints: out, num_vars, param_info, param_union }
 }
 
+/// Runs the per-function generation pass over every function, fanning out
+/// across scoped threads when the module is large enough to pay for it.
+fn generate_per_function(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+    num_funcs: usize,
+    allow_parallel: bool,
+) -> Vec<(Vec<Constraint>, Vec<CallRecord>)> {
+    let gen_one = |i: usize| {
+        let fid = FuncId::from_index(i);
+        let mut gen = FuncGen {
+            f: module.function(fid),
+            fid,
+            ranges,
+            cfg,
+            index,
+            out: Vec::new(),
+            calls: Vec::new(),
+        };
+        gen.run();
+        (gen.out, gen.calls)
+    };
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(num_funcs);
+    if !allow_parallel || num_funcs < PARALLEL_MIN_FUNCTIONS || threads < 2 {
+        return (0..num_funcs).map(gen_one).collect();
+    }
+
+    // Contiguous chunks, joined in spawn order: deterministic merge.
+    let chunk = num_funcs.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(num_funcs);
+                s.spawn(move || (lo..hi).map(gen_one).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("constraint generation worker panicked"))
+            .collect()
+    })
+}
+
 struct FuncGen<'a> {
-    module: &'a Module,
     f: &'a Function,
     fid: FuncId,
     ranges: &'a RangeAnalysis,
     cfg: GenConfig,
     index: &'a VarIndex,
-    out: &'a mut Vec<Constraint>,
+    out: Vec<Constraint>,
+    calls: Vec<CallRecord>,
 }
 
 impl FuncGen<'_> {
-    fn id(&self, v: Value) -> usize {
+    fn id(&self, v: Value) -> VarId {
         self.index.id(self.fid, v)
     }
 
@@ -245,12 +331,12 @@ impl FuncGen<'_> {
         }
     }
 
-    fn run(&mut self, call_sites: &mut [Vec<Vec<Option<usize>>>]) {
+    fn run(&mut self) {
         for b in self.f.block_ids() {
             for (v, data) in self.f.block_insts(b) {
                 if !data.has_result() {
                     if let InstKind::Call { callee, args } = &data.kind {
-                        self.record_call(*callee, args, call_sites);
+                        self.record_call(*callee, args);
                     }
                     continue;
                 }
@@ -284,7 +370,7 @@ impl FuncGen<'_> {
                     }
                     InstKind::Copy { src, origin } => self.copy(v, *src, *origin, b),
                     InstKind::Call { callee, args } => {
-                        self.record_call(*callee, args, call_sites);
+                        self.record_call(*callee, args);
                         self.out.push(Constraint::Init { x: self.id(v) });
                     }
                     InstKind::Cmp { .. }
@@ -304,17 +390,12 @@ impl FuncGen<'_> {
         }
     }
 
-    fn record_call(
-        &self,
-        callee: FuncId,
-        args: &[Value],
-        call_sites: &mut [Vec<Vec<Option<usize>>>],
-    ) {
-        let site: Vec<Option<usize>> = args
+    fn record_call(&mut self, callee: FuncId, args: &[Value]) {
+        let site: Vec<Option<VarId>> = args
             .iter()
             .map(|a| (!self.is_const(*a)).then(|| self.index.id(self.fid, *a)))
             .collect();
-        call_sites[callee.index()].push(site);
+        self.calls.push((callee, site));
     }
 
     fn binary(&mut self, v: Value, op: BinOp, lhs: Value, rhs: Value) {
@@ -392,7 +473,6 @@ impl FuncGen<'_> {
                     Pred::Ge => (Pred::Le, rhs, lhs),
                     p => (p, lhs, rhs),
                 };
-                let sibling = |of: Value| self.find_sibling(block, origin, of);
                 let x = self.id(v);
                 let src_id = self.id(src);
                 if src == large {
@@ -400,7 +480,7 @@ impl FuncGen<'_> {
                     match pred {
                         Pred::Lt => {
                             // LT(large_t) = {small_t} ∪ LT(large) ∪ LT(small_t)
-                            match sibling(small) {
+                            match self.find_sibling(block, origin, small) {
                                 Some(small_t) if !self.is_const(small) => {
                                     let st = self.id(small_t);
                                     self.out.push(Constraint::Union {
@@ -414,7 +494,7 @@ impl FuncGen<'_> {
                         }
                         Pred::Le => {
                             // LT(large_t) = LT(large) ∪ LT(small_t)
-                            match sibling(small) {
+                            match self.find_sibling(block, origin, small) {
                                 Some(small_t) if !self.is_const(small) => {
                                     let st = self.id(small_t);
                                     self.out.push(Constraint::Union {
@@ -426,12 +506,12 @@ impl FuncGen<'_> {
                                 _ => self.out.push(Constraint::Copy { x, source: src_id }),
                             }
                         }
-                        Pred::Eq => self.equality_copy(v, src, small, large, block, origin),
+                        Pred::Eq => self.equality_copy(v, src, small, large),
                         _ => self.out.push(Constraint::Copy { x, source: src_id }),
                     }
                 } else if src == small {
                     match pred {
-                        Pred::Eq => self.equality_copy(v, src, small, large, block, origin),
+                        Pred::Eq => self.equality_copy(v, src, small, large),
                         // LT(small_t) = LT(small) for < and ≤ alike.
                         _ => self.out.push(Constraint::Copy { x, source: src_id }),
                     }
@@ -444,15 +524,7 @@ impl FuncGen<'_> {
 
     /// On an equality edge both copies may merge their sources' sets:
     /// `LT(x_edge) = LT(a) ∪ LT(b)`.
-    fn equality_copy(
-        &mut self,
-        v: Value,
-        src: Value,
-        a: Value,
-        b: Value,
-        block: sraa_ir::BlockId,
-        origin: CopyOrigin,
-    ) {
+    fn equality_copy(&mut self, v: Value, src: Value, a: Value, b: Value) {
         let other = if src == a { b } else { a };
         let mut sources = vec![self.id(src)];
         if !self.is_const(other) {
@@ -460,7 +532,6 @@ impl FuncGen<'_> {
             // source: both relate to the same runtime value here.
             sources.push(self.id(other));
         }
-        let _ = self.find_sibling(block, origin, other); // sibling unused for =
         self.out.push(Constraint::Union { x: self.id(v), elems: vec![], sources });
     }
 
@@ -471,7 +542,6 @@ impl FuncGen<'_> {
         origin: CopyOrigin,
         of: Value,
     ) -> Option<Value> {
-        let _ = self.module;
         for (v, data) in self.f.block_insts(block) {
             if let InstKind::Copy { src, origin: o } = &data.kind {
                 if *o == origin && *src == of {
@@ -594,7 +664,7 @@ mod tests {
         let ci = sys.param_union[&a];
         let Constraint::Union { sources, .. } = &sys.constraints[ci] else { panic!() };
         let t = sources[0];
-        assert!(t >= ix.len(), "synthetic variable lives beyond the module ids");
+        assert!(t.index() >= ix.len(), "synthetic variable lives beyond the module ids");
         assert!(sys.constraints.iter().any(
             |c| matches!(c, Constraint::Inter { x, sources } if *x == t && sources.len() == 1)
         ));
@@ -642,5 +712,33 @@ mod tests {
         assert_eq!(info.sites.len(), 1);
         assert!(info.sites[0][0].is_some(), "x is a variable");
         assert!(info.sites[0][1].is_none(), "3 is a constant");
+    }
+
+    /// The scoped-thread fan-out must emit exactly the serial sequence:
+    /// force the parallel path with a many-function module and compare
+    /// it against the forced-serial reference pass, repeatedly.
+    #[test]
+    fn parallel_generation_matches_the_forced_serial_pass() {
+        let mut src = String::new();
+        for i in 0..(PARALLEL_MIN_FUNCTIONS * 3) {
+            src.push_str(&format!(
+                "int f{i}(int* v, int n) {{ int s = 0; \
+                 for (int k = 0; k < n; k++) s += v[k]; return s + {i}; }}\n"
+            ));
+        }
+        src.push_str("int main() { int a[4]; return f0(a, 4) + f1(a, 3); }\n");
+        let (m, ranges) = prepare(&src);
+        assert!(m.num_functions() >= PARALLEL_MIN_FUNCTIONS);
+        let index = VarIndex::new(&m);
+        let serial = generate_serial(&m, &ranges, GenConfig::default(), &index);
+        for _ in 0..3 {
+            let parallel = generate(&m, &ranges, GenConfig::default());
+            assert_eq!(
+                serial.constraints, parallel.constraints,
+                "the fan-out must emit the serial constraint sequence"
+            );
+            assert_eq!(serial.num_vars, parallel.num_vars);
+            assert_eq!(serial.param_union, parallel.param_union);
+        }
     }
 }

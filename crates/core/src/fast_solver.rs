@@ -22,149 +22,74 @@
 //!    identity-of-∩ treatment of ⊤ lets a grounded external source break
 //!    the cycle. The fast solver classifies each component once and skips
 //!    the iteration entirely for union-only cycles.
-//! 3. **Sorted-vector sets with sharing.** `LT` sets are immutable sorted
-//!    `Rc<[u32]>` slices: unions are k-way merges, intersections are
-//!    linear merges, `Copy` constraints and stabilised cycle members
-//!    share one allocation instead of cloning hash sets.
+//! 3. **Shared set algebra.** The lattice operations live in
+//!    [`crate::lt_set`] — sorted, shareable `Arc<[u32]>` slices with a
+//!    symbolic ⊤ — and are byte-for-byte the ones the worklist solver
+//!    uses. This solver contributes *scheduling only*, so both
+//!    strategies plug into the engine's
+//!    [`FixpointSolver`](crate::engine::FixpointSolver) trait and return
+//!    the same [`Solution`] type.
 //!
 //! The `solvers` Criterion bench group (`crates/bench/benches/solver.rs`)
 //! measures the effect; `EXPERIMENTS.md` records the observed speed-ups.
 
 use crate::constraints::Constraint;
-use crate::solver::{LtSet, Solution, SolveStats};
+use crate::lt_set::{eval, LtSet};
+use crate::solver::{Solution, SolveStats};
 use std::collections::HashSet;
-use std::rc::Rc;
-
-/// A less-than set in the fast solver: `None` is the symbolic ⊤, and an
-/// explicit set is a sorted, deduplicated, shareable slice.
-type Set = Option<Rc<[u32]>>;
-
-/// Counters describing one [`solve_fast`] run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct FastStats {
-    /// Number of constraints solved.
-    pub constraints: usize,
-    /// Number of variables in the system.
-    pub variables: usize,
-    /// Strongly connected components in the constraint dependency graph.
-    pub sccs: usize,
-    /// Components with more than one constraint (or a self-loop).
-    pub cyclic_sccs: usize,
-    /// Cyclic components short-circuited as union-only (stay ⊤, frozen ∅).
-    pub union_cycles: usize,
-    /// Constraint evaluations until the fixpoint — the analogue of the
-    /// baseline's worklist pops. Exactly one per constraint on acyclic
-    /// systems; ≤ pops on every corpus workload (`tests/solvers.rs`),
-    /// though a pathological cycle can invert the comparison.
-    pub evals: u64,
-    /// Variables still ⊤ at the fixpoint, demoted to ∅ by the freeze rule.
-    pub frozen_tops: usize,
-}
-
-impl FastStats {
-    /// Evaluations per constraint — comparable with
-    /// [`SolveStats::pops_per_constraint`].
-    pub fn evals_per_constraint(&self) -> f64 {
-        if self.constraints == 0 {
-            0.0
-        } else {
-            self.evals as f64 / self.constraints as f64
-        }
-    }
-}
-
-/// The solved less-than relation, as produced by [`solve_fast`].
-///
-/// Query-compatible with [`Solution`]: `less_than`, `lt_set` and
-/// `size_histogram` answer identically on the same constraint system
-/// (asserted by the differential tests in this module and in
-/// `tests/fast_solver.rs`).
-#[derive(Clone, Debug)]
-pub struct FastSolution {
-    sets: Vec<Rc<[u32]>>,
-    /// Solver statistics.
-    pub stats: FastStats,
-}
-
-impl FastSolution {
-    /// Whether variable `a` is strictly less than `b` (i.e. `a ∈ LT(b)`).
-    pub fn less_than(&self, a: usize, b: usize) -> bool {
-        self.sets.get(b).is_some_and(|s| s.binary_search(&(a as u32)).is_ok())
-    }
-
-    /// The `LT` set of `x` as a sorted vector of ids.
-    pub fn lt_set(&self, x: usize) -> Vec<usize> {
-        self.sets[x].iter().map(|&i| i as usize).collect()
-    }
-
-    /// Histogram entry: how many variables have an `LT` set of size `n`?
-    pub fn size_histogram(&self) -> Vec<(usize, usize)> {
-        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
-        for s in &self.sets {
-            *counts.entry(s.len()).or_default() += 1;
-        }
-        counts.into_iter().collect()
-    }
-
-    /// Converts into the baseline [`Solution`] representation (hash sets),
-    /// for callers written against the baseline API. The conversion
-    /// materialises every set, so it costs what the baseline solver would
-    /// have spent on its output — use the native queries when possible.
-    pub fn into_solution(self) -> Solution {
-        let stats = SolveStats {
-            constraints: self.stats.constraints,
-            variables: self.stats.variables,
-            pops: self.stats.evals,
-            frozen_tops: self.stats.frozen_tops,
-        };
-        let sets = self
-            .sets
-            .into_iter()
-            .map(|s| LtSet::Set(s.iter().copied().collect::<HashSet<u32>>()))
-            .collect();
-        Solution::from_parts(sets, stats)
-    }
-}
 
 /// Solves the constraint system over `num_vars` variables by SCC
-/// condensation. Produces the same fixpoint as [`solve`](crate::solve).
-pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
+/// condensation. Produces the same fixpoint as [`solve`](crate::solve),
+/// in the same [`Solution`] representation; `stats.pops` counts the
+/// constraint evaluations spent (exactly one per constraint on acyclic
+/// systems).
+pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> Solution {
     let mut stats =
-        FastStats { constraints: constraints.len(), variables: num_vars, ..Default::default() };
+        SolveStats { constraints: constraints.len(), variables: num_vars, ..Default::default() };
 
     // defining[v] = the constraint that defines v (at most one; constraint
     // generation emits one constraint per defined variable).
-    let mut defining: Vec<Option<u32>> = vec![None; num_vars];
+    const NO_DEF: u32 = u32::MAX;
+    let mut defining: Vec<u32> = vec![NO_DEF; num_vars];
     for (ci, c) in constraints.iter().enumerate() {
         debug_assert!(
-            defining[c.defined()].is_none(),
+            defining[c.defined().index()] == NO_DEF,
             "variable {} defined by two constraints",
             c.defined()
         );
-        defining[c.defined()] = Some(ci as u32);
+        defining[c.defined().index()] = ci as u32;
     }
 
-    // Dependency edges: constraint ci depends on the constraints defining
-    // the variables it reads.
-    let deps: Vec<Vec<u32>> = constraints
-        .iter()
-        .map(|c| c.reads().iter().filter_map(|&r| defining[r]).collect())
-        .collect();
+    // Dependency edges in CSR form: constraint ci depends on the
+    // constraints defining the variables it reads. Flat arrays instead of
+    // one Vec per node — graph construction is the fixed cost the SCC
+    // strategy pays over the worklist, so it must stay cheap.
+    let deps = {
+        let mut offsets = Vec::with_capacity(constraints.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0u32);
+        for c in constraints {
+            edges.extend(c.reads().iter().map(|r| defining[r.index()]).filter(|&d| d != NO_DEF));
+            offsets.push(edges.len() as u32);
+        }
+        Csr { offsets, edges }
+    };
 
     let sccs = tarjan_sccs(&deps);
     stats.sccs = sccs.len();
 
-    let mut sets: Vec<Set> = vec![None; num_vars];
+    let mut sets: Vec<LtSet> = vec![LtSet::Top; num_vars];
 
     // Tarjan emits components dependencies-first, so by the time a
     // component is processed every external read is final.
-    for comp in &sccs {
-        let cyclic = comp.len() > 1 || deps[comp[0] as usize].contains(&comp[0]);
+    for k in 0..sccs.len() {
+        let comp = sccs.row(k as u32);
+        let cyclic = comp.len() > 1 || deps.row(comp[0]).contains(&comp[0]);
         if !cyclic {
             let ci = comp[0] as usize;
-            stats.evals += 1;
+            stats.pops += 1;
             let c = &constraints[ci];
-            sets[c.defined()] = eval(c, &sets);
+            sets[c.defined().index()] = eval(c, &sets);
             continue;
         }
         stats.cyclic_sccs += 1;
@@ -181,19 +106,24 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
         solve_component(constraints, comp, &defining, &mut sets, &mut stats);
     }
 
-    // Freeze: demote residual ⊤ to ∅, exactly like the baseline solver.
-    let empty: Rc<[u32]> = Rc::from(Vec::new());
-    let sets = sets
-        .into_iter()
-        .map(|s| {
-            s.unwrap_or_else(|| {
-                stats.frozen_tops += 1;
-                Rc::clone(&empty)
-            })
-        })
-        .collect();
+    Solution::freeze(sets, stats)
+}
 
-    FastSolution { sets, stats }
+/// Compressed sparse rows: `edges[offsets[i]..offsets[i+1]]` are node
+/// `i`'s out-edges.
+struct Csr {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl Csr {
+    fn row(&self, i: u32) -> &[u32] {
+        &self.edges[self.offsets[i as usize] as usize..self.offsets[i as usize + 1] as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 /// Local worklist iteration restricted to one cyclic component. External
@@ -203,19 +133,18 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> FastSolution {
 fn solve_component(
     constraints: &[Constraint],
     comp: &[u32],
-    defining: &[Option<u32>],
-    sets: &mut [Set],
-    stats: &mut FastStats,
+    defining: &[u32],
+    sets: &mut [LtSet],
+    stats: &mut SolveStats,
 ) {
     let members: HashSet<u32> = comp.iter().copied().collect();
     // dependents within the component: defining constraint → readers.
     let mut dependents: std::collections::HashMap<u32, Vec<u32>> = Default::default();
     for &ci in comp {
-        for &r in constraints[ci as usize].reads() {
-            if let Some(d) = defining[r] {
-                if members.contains(&d) {
-                    dependents.entry(d).or_default().push(ci);
-                }
+        for r in constraints[ci as usize].reads() {
+            let d = defining[r.index()];
+            if d != u32::MAX && members.contains(&d) {
+                dependents.entry(d).or_default().push(ci);
             }
         }
     }
@@ -224,9 +153,9 @@ fn solve_component(
     let mut on_list: HashSet<u32> = members.clone();
     while let Some(ci) = worklist.pop_front() {
         on_list.remove(&ci);
-        stats.evals += 1;
+        stats.pops += 1;
         let c = &constraints[ci as usize];
-        let x = c.defined();
+        let x = c.defined().index();
         let new = eval(c, sets);
         if new != sets[x] {
             sets[x] = new;
@@ -239,67 +168,15 @@ fn solve_component(
     }
 }
 
-fn eval(c: &Constraint, sets: &[Set]) -> Set {
-    match c {
-        Constraint::Init { .. } => Some(Rc::from(Vec::new())),
-        Constraint::Copy { source, .. } => sets[*source].clone(),
-        Constraint::Union { elems, sources, .. } => {
-            if sources.iter().any(|&s| sets[s].is_none()) {
-                return None; // {x} ∪ ⊤ = ⊤
-            }
-            let mut acc: Vec<u32> = elems.iter().map(|&e| e as u32).collect();
-            for &s in sources {
-                acc.extend_from_slice(sets[s].as_ref().expect("checked above"));
-            }
-            acc.sort_unstable();
-            acc.dedup();
-            Some(Rc::from(acc))
-        }
-        Constraint::Inter { sources, .. } => {
-            // ⊤ is the identity of ∩; intersect the explicit sources,
-            // smallest first so the working set only shrinks.
-            let mut explicit: Vec<&Rc<[u32]>> =
-                sources.iter().filter_map(|&s| sets[s].as_ref()).collect();
-            if explicit.is_empty() {
-                return None;
-            }
-            explicit.sort_by_key(|s| s.len());
-            let mut acc: Vec<u32> = explicit[0].to_vec();
-            for s in &explicit[1..] {
-                acc = intersect_sorted(&acc, s);
-                if acc.is_empty() {
-                    break;
-                }
-            }
-            Some(Rc::from(acc))
-        }
-    }
-}
-
-/// Intersection of two sorted, deduplicated slices by linear merge.
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Iterative Tarjan over the constraint dependency graph (`deps[c]` lists
-/// the constraints `c` reads from). Components are emitted dependencies-
-/// first — the processing order [`solve_fast`] relies on. Iterative so
-/// that chain-shaped systems (tens of thousands of constraints deep)
-/// cannot overflow the call stack.
-fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
+/// Iterative Tarjan over the constraint dependency graph (`deps.row(c)`
+/// lists the constraints `c` reads from). Components are emitted
+/// dependencies-first — the processing order [`solve_fast`] relies on —
+/// into one flat CSR (row `k` = component `k`'s members): singleton
+/// components dominate real systems, so one `Vec` per component would be
+/// the allocator's hottest path. Iterative so that chain-shaped systems
+/// (tens of thousands of constraints deep) cannot overflow the call
+/// stack.
+fn tarjan_sccs(deps: &Csr) -> Csr {
     const UNVISITED: u32 = u32::MAX;
     let n = deps.len();
     let mut index = vec![UNVISITED; n];
@@ -307,7 +184,7 @@ fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
     let mut on_stack = vec![false; n];
     let mut stack: Vec<u32> = Vec::new();
     let mut next_index = 0u32;
-    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut sccs = Csr { offsets: vec![0], edges: Vec::with_capacity(n) };
 
     // Explicit DFS frames: (node, next edge position to explore).
     let mut frames: Vec<(u32, usize)> = Vec::new();
@@ -324,7 +201,7 @@ fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
         on_stack[root as usize] = true;
 
         while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
-            if let Some(&w) = deps[v as usize].get(*ei) {
+            if let Some(&w) = deps.row(v).get(*ei) {
                 *ei += 1;
                 if index[w as usize] == UNVISITED {
                     index[w as usize] = next_index;
@@ -342,16 +219,15 @@ fn tarjan_sccs(deps: &[Vec<u32>]) -> Vec<Vec<u32>> {
                     lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
-                    let mut comp = Vec::new();
                     loop {
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
-                        comp.push(w);
+                        sccs.edges.push(w);
                         if w == v {
                             break;
                         }
                     }
-                    sccs.push(comp);
+                    sccs.offsets.push(sccs.edges.len() as u32);
                 }
             }
         }
@@ -364,30 +240,42 @@ mod tests {
     use super::*;
     use crate::constraints::Constraint as C;
     use crate::solver::solve;
+    use crate::var_index::VarId;
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn vs(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().copied().map(VarId::new).collect()
+    }
 
     /// Asserts both solvers agree on every variable's `LT` set.
     fn assert_agrees(cs: &[C], num_vars: usize) {
         let base = solve(cs, num_vars);
         let fast = solve_fast(cs, num_vars);
         for x in 0..num_vars {
+            let x = VarId::from_index(x);
             assert_eq!(base.lt_set(x), fast.lt_set(x), "solvers disagree on LT({x}) over {cs:?}");
+            assert_eq!(base.was_top(x), fast.was_top(x), "frozen sets differ on {x}");
         }
         assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops);
     }
 
     fn example_3_4() -> Vec<C> {
         vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Inter { x: 2, sources: vec![1, 3] },
-            C::Union { x: 3, elems: vec![2], sources: vec![2] },
-            C::Init { x: 4 },
-            C::Union { x: 5, elems: vec![4], sources: vec![2] },
-            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] },
-            C::Copy { x: 8, source: 1 },
-            C::Union { x: 10, elems: vec![], sources: vec![8, 4] },
-            C::Copy { x: 9, source: 4 },
-            C::Inter { x: 6, sources: vec![3, 9, 4] },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Inter { x: v(2), sources: vs(&[1, 3]) },
+            C::Union { x: v(3), elems: vs(&[2]), sources: vs(&[2]) },
+            C::Init { x: v(4) },
+            C::Union { x: v(5), elems: vs(&[4]), sources: vs(&[2]) },
+            C::Union { x: v(7), elems: vs(&[9]), sources: vs(&[9, 1]) },
+            C::Copy { x: v(8), source: v(1) },
+            C::Union { x: v(10), elems: vec![], sources: vs(&[8, 4]) },
+            C::Copy { x: v(9), source: v(4) },
+            C::Inter { x: v(6), sources: vs(&[3, 9, 4]) },
         ]
     }
 
@@ -399,22 +287,22 @@ mod tests {
     #[test]
     fn papers_fixpoint_reproduced_natively() {
         let sol = solve_fast(&example_3_4(), 11);
-        assert_eq!(sol.lt_set(3), vec![0, 2], "LT(x3) = {{x0, x2}}");
-        assert_eq!(sol.lt_set(7), vec![0, 9], "LT(x1t) = {{x0, x4t}}");
-        assert!(sol.less_than(0, 1) && !sol.less_than(1, 0));
+        assert_eq!(sol.lt_set(v(3)), &[0, 2], "LT(x3) = {{x0, x2}}");
+        assert_eq!(sol.lt_set(v(7)), &[0, 9], "LT(x1t) = {{x0, x4t}}");
+        assert!(sol.less_than(v(0), v(1)) && !sol.less_than(v(1), v(0)));
     }
 
     #[test]
     fn agrees_on_chain() {
-        let n = 64;
-        let mut cs = vec![C::Init { x: 0 }];
+        let n = 64u32;
+        let mut cs = vec![C::Init { x: v(0) }];
         for i in 1..n {
-            cs.push(C::Union { x: i, elems: vec![i - 1], sources: vec![i - 1] });
+            cs.push(C::Union { x: v(i), elems: vs(&[i - 1]), sources: vs(&[i - 1]) });
         }
-        assert_agrees(&cs, n);
+        assert_agrees(&cs, n as usize);
         // Acyclic: exactly one eval per constraint.
-        let fast = solve_fast(&cs, n);
-        assert_eq!(fast.stats.evals, n as u64);
+        let fast = solve_fast(&cs, n as usize);
+        assert_eq!(fast.stats.pops, n as u64);
         assert_eq!(fast.stats.cyclic_sccs, 0);
     }
 
@@ -422,9 +310,9 @@ mod tests {
     fn agrees_on_phi_loop() {
         // i = φ(c, i2); i2 = i + 1 — the canonical induction cycle.
         let cs = vec![
-            C::Init { x: 0 },
-            C::Inter { x: 1, sources: vec![0, 2] },
-            C::Union { x: 2, elems: vec![1], sources: vec![1] },
+            C::Init { x: v(0) },
+            C::Inter { x: v(1), sources: vs(&[0, 2]) },
+            C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) },
         ];
         assert_agrees(&cs, 3);
         let fast = solve_fast(&cs, 3);
@@ -435,14 +323,14 @@ mod tests {
     #[test]
     fn union_cycle_short_circuits_to_frozen_empty() {
         let cs = vec![
-            C::Union { x: 0, elems: vec![1], sources: vec![1] },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+            C::Union { x: v(0), elems: vs(&[1]), sources: vs(&[1]) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
         ];
         assert_agrees(&cs, 2);
         let fast = solve_fast(&cs, 2);
         assert_eq!(fast.stats.union_cycles, 1);
         assert_eq!(fast.stats.frozen_tops, 2);
-        assert_eq!(fast.stats.evals, 0, "no iteration spent on the cycle");
+        assert_eq!(fast.stats.pops, 0, "no iteration spent on the cycle");
     }
 
     #[test]
@@ -450,10 +338,10 @@ mod tests {
         // x2/x3 form a union cycle fed by a grounded x1 — ⊤ still wins:
         // each eval unions a member that is ⊤.
         let cs = vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Union { x: 2, elems: vec![], sources: vec![1, 3] },
-            C::Union { x: 3, elems: vec![], sources: vec![2] },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Union { x: v(2), elems: vec![], sources: vs(&[1, 3]) },
+            C::Union { x: v(3), elems: vec![], sources: vs(&[2]) },
         ];
         assert_agrees(&cs, 4);
     }
@@ -461,18 +349,18 @@ mod tests {
     #[test]
     fn copy_shares_the_allocation() {
         let cs = vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Copy { x: 2, source: 1 },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Copy { x: v(2), source: v(1) },
         ];
         let fast = solve_fast(&cs, 3);
-        assert!(Rc::ptr_eq(&fast.sets[1], &fast.sets[2]));
+        assert!(Arc::ptr_eq(fast.set_arc(v(1)), fast.set_arc(v(2))));
     }
 
     #[test]
     fn self_loop_union_is_cyclic() {
         // x0 = {1} ∪ LT(x0): a self-loop, degenerate union cycle.
-        let cs = vec![C::Union { x: 0, elems: vec![1], sources: vec![0] }];
+        let cs = vec![C::Union { x: v(0), elems: vs(&[1]), sources: vs(&[0]) }];
         assert_agrees(&cs, 2);
         let fast = solve_fast(&cs, 2);
         assert_eq!(fast.stats.union_cycles, 1);
@@ -482,12 +370,12 @@ mod tests {
     fn nested_loops_and_diamonds() {
         // Two interlocking φ-cycles sharing a grounded entry.
         let cs = vec![
-            C::Init { x: 0 },
-            C::Inter { x: 1, sources: vec![0, 2, 4] },
-            C::Union { x: 2, elems: vec![1], sources: vec![1] },
-            C::Inter { x: 3, sources: vec![1, 4] },
-            C::Union { x: 4, elems: vec![3], sources: vec![3] },
-            C::Union { x: 5, elems: vec![], sources: vec![2, 4] },
+            C::Init { x: v(0) },
+            C::Inter { x: v(1), sources: vs(&[0, 2, 4]) },
+            C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) },
+            C::Inter { x: v(3), sources: vs(&[1, 4]) },
+            C::Union { x: v(4), elems: vs(&[3]), sources: vs(&[3]) },
+            C::Union { x: v(5), elems: vec![], sources: vs(&[2, 4]) },
         ];
         assert_agrees(&cs, 6);
     }
@@ -495,50 +383,45 @@ mod tests {
     #[test]
     fn intersection_of_disjoint_sets_is_empty() {
         let cs = vec![
-            C::Init { x: 0 },
-            C::Init { x: 1 },
-            C::Union { x: 2, elems: vec![0], sources: vec![0] },
-            C::Union { x: 3, elems: vec![1], sources: vec![1] },
-            C::Inter { x: 4, sources: vec![2, 3] },
+            C::Init { x: v(0) },
+            C::Init { x: v(1) },
+            C::Union { x: v(2), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Union { x: v(3), elems: vs(&[1]), sources: vs(&[1]) },
+            C::Inter { x: v(4), sources: vs(&[2, 3]) },
         ];
         let fast = solve_fast(&cs, 5);
-        assert_eq!(fast.lt_set(4), Vec::<usize>::new());
+        assert_eq!(fast.lt_set(v(4)), &[] as &[u32]);
         assert_agrees(&cs, 5);
     }
 
-    #[test]
-    fn into_solution_preserves_queries() {
-        let fast = solve_fast(&example_3_4(), 11);
-        let expected: Vec<Vec<usize>> = (0..11).map(|x| fast.lt_set(x)).collect();
-        let evals = fast.stats.evals;
-        let sol = fast.into_solution();
-        for (x, want) in expected.iter().enumerate() {
-            assert_eq!(&sol.lt_set(x), want);
+    fn csr(rows: Vec<Vec<u32>>) -> Csr {
+        let mut offsets = vec![0u32];
+        let mut edges = Vec::new();
+        for row in rows {
+            edges.extend(row);
+            offsets.push(edges.len() as u32);
         }
-        assert_eq!(sol.stats.pops, evals);
+        Csr { offsets, edges }
     }
 
-    #[test]
-    fn intersect_sorted_merges() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
-        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
-        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
+    fn scc_rows(sccs: &Csr) -> Vec<Vec<u32>> {
+        (0..sccs.len()).map(|k| sccs.row(k as u32).to_vec()).collect()
     }
 
     #[test]
     fn tarjan_orders_dependencies_first() {
         // 0 → (nothing); 1 reads 0; 2 reads 1. deps edges point at
         // dependencies, so emission must be [0], [1], [2].
-        let deps = vec![vec![], vec![0], vec![1]];
-        let sccs = tarjan_sccs(&deps);
+        let deps = csr(vec![vec![], vec![0], vec![1]]);
+        let sccs = scc_rows(&tarjan_sccs(&deps));
         assert_eq!(sccs, vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]
     fn tarjan_groups_cycles() {
         // 1 ⇄ 2 cycle, 3 reads the cycle, 0 independent.
-        let deps = vec![vec![], vec![2], vec![1], vec![1]];
-        let sccs = tarjan_sccs(&deps);
+        let deps = csr(vec![vec![], vec![2], vec![1], vec![1]]);
+        let sccs = scc_rows(&tarjan_sccs(&deps));
         let cycle = sccs.iter().find(|c| c.len() == 2).expect("cycle component");
         let mut cycle = cycle.clone();
         cycle.sort_unstable();
@@ -551,53 +434,28 @@ mod tests {
 
     #[test]
     fn deep_chain_does_not_overflow_stack() {
-        let n = 200_000;
-        let mut cs = vec![C::Init { x: 0 }];
+        let n = 200_000u32;
+        let mut cs = vec![C::Init { x: v(0) }];
         for i in 1..n {
             // Copies, so the closure stays small while the graph is deep.
-            cs.push(C::Copy { x: i, source: i - 1 });
+            cs.push(C::Copy { x: v(i), source: v(i - 1) });
         }
-        let fast = solve_fast(&cs, n);
-        assert_eq!(fast.lt_set(n - 1), Vec::<usize>::new());
-        assert_eq!(fast.stats.evals, n as u64);
+        let fast = solve_fast(&cs, n as usize);
+        assert_eq!(fast.lt_set(v(n - 1)), &[] as &[u32]);
+        assert_eq!(fast.stats.pops, n as u64);
     }
 
     #[test]
     fn empty_system() {
         let sol = solve_fast(&[], 0);
-        assert_eq!(sol.stats.evals, 0);
+        assert_eq!(sol.stats.pops, 0);
         assert_eq!(sol.size_histogram(), Vec::<(usize, usize)>::new());
     }
 
     mod properties {
         use super::*;
+        use crate::test_systems::{grounded_systems, systems};
         use proptest::prelude::*;
-
-        /// A random constraint for variable `x` over `n` variables: any
-        /// shape the generator can emit, cycles and dead code included.
-        fn constraint_for(x: usize, n: usize) -> impl Strategy<Value = Option<C>> {
-            let var = 0..n;
-            let vars = proptest::collection::vec(0..n, 1..4);
-            prop_oneof![
-                1 => Just(None), // undefined variable: stays ⊤, frozen ∅
-                2 => Just(Some(C::Init { x })),
-                2 => var.prop_map(move |s| Some(C::Copy { x, source: s })),
-                4 => (proptest::collection::vec(0..n, 0..3), vars.clone())
-                    .prop_map(move |(elems, sources)| {
-                        Some(C::Union { x, elems, sources })
-                    }),
-                3 => vars.prop_map(move |sources| Some(C::Inter { x, sources })),
-            ]
-        }
-
-        fn systems() -> impl Strategy<Value = (Vec<C>, usize)> {
-            (2usize..24).prop_flat_map(|n| {
-                (0..n)
-                    .map(|x| constraint_for(x, n))
-                    .collect::<Vec<_>>()
-                    .prop_map(move |cs| (cs.into_iter().flatten().collect::<Vec<C>>(), n))
-            })
-        }
 
         proptest! {
             /// The SCC solver computes the same greatest fixpoint as the
@@ -607,9 +465,23 @@ mod tests {
                 let base = solve(&cs, n);
                 let fast = solve_fast(&cs, n);
                 for x in 0..n {
+                    let x = VarId::from_index(x);
                     prop_assert_eq!(base.lt_set(x), fast.lt_set(x), "LT({})", x);
                 }
                 prop_assert_eq!(base.stats.frozen_tops, fast.stats.frozen_tops);
+            }
+
+            /// Fully-grounded random systems (every variable defined)
+            /// also agree — this is the population the on-demand prover
+            /// property runs on, so keep the solvers honest there too.
+            #[test]
+            fn fast_solver_agrees_on_grounded_systems((cs, n) in grounded_systems()) {
+                let base = solve(&cs, n);
+                let fast = solve_fast(&cs, n);
+                for x in 0..n {
+                    let x = VarId::from_index(x);
+                    prop_assert_eq!(base.lt_set(x), fast.lt_set(x), "LT({})", x);
+                }
             }
 
             /// On *acyclic* systems the fast solver evaluates every
@@ -628,18 +500,19 @@ mod tests {
                     .into_iter()
                     .map(|c| {
                         let x = c.defined();
+                        let clamp = |s: VarId| VarId::from_index(s.index() % x.index().max(1));
                         match c {
-                            C::Init { .. } | C::Copy { .. } if x == 0 => C::Init { x },
+                            C::Init { .. } | C::Copy { .. } if x.index() == 0 => C::Init { x },
                             C::Init { x } => C::Init { x },
-                            C::Copy { x, source } => C::Copy { x, source: source % x.max(1) },
-                            C::Union { x, elems, sources } if x > 0 => C::Union {
+                            C::Copy { x, source } => C::Copy { x, source: clamp(source) },
+                            C::Union { x, elems, sources } if x.index() > 0 => C::Union {
                                 x,
                                 elems,
-                                sources: sources.into_iter().map(|s| s % x).collect(),
+                                sources: sources.into_iter().map(clamp).collect(),
                             },
-                            C::Inter { x, sources } if x > 0 => C::Inter {
+                            C::Inter { x, sources } if x.index() > 0 => C::Inter {
                                 x,
-                                sources: sources.into_iter().map(|s| s % x).collect(),
+                                sources: sources.into_iter().map(clamp).collect(),
                             },
                             other => C::Init { x: other.defined() },
                         }
@@ -647,9 +520,10 @@ mod tests {
                     .collect();
                 let base = solve(&acyclic, n);
                 let fast = solve_fast(&acyclic, n);
-                prop_assert_eq!(fast.stats.evals, acyclic.len() as u64);
-                prop_assert!(fast.stats.evals <= base.stats.pops);
+                prop_assert_eq!(fast.stats.pops, acyclic.len() as u64);
+                prop_assert!(fast.stats.pops <= base.stats.pops);
                 for x in 0..n {
+                    let x = VarId::from_index(x);
                     prop_assert_eq!(base.lt_set(x), fast.lt_set(x));
                 }
             }

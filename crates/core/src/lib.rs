@@ -11,7 +11,27 @@
 //!
 //! > if `p1 < p2`, then `p1` and `p2` cannot alias.
 //!
-//! The pipeline (see [`StrictInequalityAnalysis::run`]):
+//! # Architecture — the `DisambiguationEngine`
+//!
+//! Everything hangs off one pipeline, owned end to end by the
+//! [`DisambiguationEngine`]:
+//!
+//! ```text
+//!   ┌──────────┐  σ/sub splits  ┌─────────┐  Figure 7, per function  ┌───────────────┐
+//!   │SSA module│───(sraa-essa)─▶│  e-SSA  │───(scoped threads)──────▶│ConstraintSystem│
+//!   └──────────┘                └─────────┘                          └───────┬───────┘
+//!                                                                           │
+//!                                             FixpointSolver (SolverKind)   │
+//!                                  ┌─────────────────┬──────────────────────┘
+//!                                  ▼                 ▼
+//!                           WorklistSolver       SccSolver            one shared LtSet
+//!                           (paper §3.4)         (§6 answer)          representation
+//!                                  └────────┬────────┘
+//!                                           ▼
+//!                                      ┌──────────┐   memoized pair cache, batch API
+//!                                      │ Solution │──▶ queries: less_than · lt_set ·
+//!                                      └──────────┘            no_alias · histograms
+//! ```
 //!
 //! 1. **e-SSA conversion** ([`sraa_essa`]) splits live ranges at
 //!    conditionals (σ-copies) and subtractions, giving the analysis the
@@ -19,13 +39,23 @@
 //! 2. **Range analysis** ([`sraa_range`]) classifies `x1 = x2 + x3` as
 //!    addition/subtraction by operand signs.
 //! 3. **Constraint generation** ([`constraints`], the paper's Figure 7) —
-//!    `O(|V|)`, one constraint per variable.
-//! 4. **Worklist solving** ([`solver`], paper §3.4) over the lattice
-//!    `⟨V, ∩, ∅, V, ⊆⟩`, descending from ⊤; in practice ≈2 pops per
-//!    constraint.
-//! 5. **Disambiguation** (paper Definition 3.11): `no_alias(p1, p2)` if
-//!    `p1 ∈ LT(p2)` ∨ `p2 ∈ LT(p1)` (criterion 1), or both are derived
-//!    from one base with strictly ordered variable offsets (criterion 2).
+//!    `O(|V|)`, one pass per function, fanned out across scoped threads
+//!    on large modules; variables are interned [`VarId`]s.
+//! 4. **Fixpoint solving** over the lattice `⟨V, ∩, ∅, V, ⊆⟩`, descending
+//!    from ⊤, behind the pluggable [`FixpointSolver`] trait: the paper's
+//!    FIFO worklist ([`solver`], [`SolverKind::Worklist`]) or the
+//!    SCC-condensation solver ([`fast_solver`], [`SolverKind::Scc`] — the
+//!    default). Both share the [`LtSet`] algebra and return the same
+//!    [`Solution`]; differential tests prove them interchangeable.
+//! 5. **Disambiguation** (paper Definition 3.11):
+//!    [`no_alias`](DisambiguationEngine::no_alias) — `p1 ∈ LT(p2)` ∨
+//!    `p2 ∈ LT(p1)` (criterion 1), or both derived from one base with
+//!    strictly ordered variable offsets (criterion 2) — served from a
+//!    memoized per-function pair cache with a batch all-pairs API.
+//!
+//! Consumers (the `sraa-alias` backends, `sraa-pentagon`, the `sraa-opt`
+//! passes, `sraa-pdg`, the `sraa` CLI) hold an engine — usually behind an
+//! `Arc` — and query it; none of them constructs solvers.
 //!
 //! # Example — the paper's motivating loop
 //!
@@ -59,14 +89,22 @@
 
 pub mod analysis;
 pub mod constraints;
+pub mod engine;
 pub mod fast_solver;
+pub mod lt_set;
 pub mod ondemand;
 pub mod solver;
+#[cfg(test)]
+pub(crate) mod test_systems;
 pub mod var_index;
 
 pub use analysis::{derived_pointer, strip_copies, StrictInequalityAnalysis};
 pub use constraints::{generate, Constraint, ConstraintSystem, GenConfig};
-pub use fast_solver::{solve_fast, FastSolution, FastStats};
+pub use engine::{
+    DisambiguationEngine, EngineConfig, FixpointSolver, SccSolver, SolverKind, WorklistSolver,
+};
+pub use fast_solver::solve_fast;
+pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;
-pub use solver::{solve, LtSet, Solution, SolveStats};
-pub use var_index::VarIndex;
+pub use solver::{solve, Solution, SolveStats};
+pub use var_index::{VarId, VarIndex};

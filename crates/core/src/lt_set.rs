@@ -1,0 +1,250 @@
+//! The one less-than-set representation shared by both fixpoint solvers.
+//!
+//! Historically the worklist solver kept `HashSet<u32>` sets and the SCC
+//! solver kept `Rc<[u32]>` slices, duplicating the lattice algebra behind
+//! incompatible types. This module is the single source of truth both now
+//! use:
+//!
+//! * ⊤ (the full set `V`) stays **symbolic** ([`LtSet::Top`]) — identical
+//!   lattice semantics without quadratic memory: `⊤ ∩ S = S`,
+//!   `{x} ∪ ⊤ = ⊤`;
+//! * explicit sets are **sorted, deduplicated, shareable**
+//!   `Arc<[u32]>` slices: unions are merges, intersections are linear
+//!   merges (smallest set first), `Copy` constraints share one allocation
+//!   instead of cloning, and the `Arc` makes solutions `Send + Sync` so
+//!   the per-function analysis driver can fan out across threads.
+//!
+//! Iterating an `LtSet` always yields ids in ascending [`VarId`] order, so
+//! everything downstream of the solvers — printed `LT` sets, statistics,
+//! histograms — is byte-identical across runs (no hash-iteration
+//! nondeterminism).
+//!
+//! `eval` is the one constraint-evaluation function both solvers call;
+//! a solver only decides *scheduling* (FIFO worklist vs SCC topological
+//! order), never set algebra.
+
+use crate::constraints::Constraint;
+use crate::var_index::VarId;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// A less-than set during solving: ⊤ or an explicit sorted set.
+#[derive(Clone, Debug)]
+pub enum LtSet {
+    /// The full set `V` (symbolic).
+    Top,
+    /// An explicit set: sorted, deduplicated raw [`VarId`]s.
+    Elems(Arc<[u32]>),
+}
+
+/// The shared empty slice — `∅` occurs constantly (rule 1 grounds every
+/// allocation site), so all empty sets alias one allocation.
+pub(crate) fn empty_arc() -> Arc<[u32]> {
+    static EMPTY: OnceLock<Arc<[u32]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new())))
+}
+
+impl PartialEq for LtSet {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (LtSet::Top, LtSet::Top) => true,
+            // Pointer equality first: shared allocations (Copy chains,
+            // stabilised cycles) compare in O(1).
+            (LtSet::Elems(a), LtSet::Elems(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for LtSet {}
+
+impl LtSet {
+    /// The empty set `∅` (the lattice bottom).
+    pub fn empty() -> LtSet {
+        LtSet::Elems(empty_arc())
+    }
+
+    /// An explicit set from a vector that is already sorted and
+    /// deduplicated.
+    pub fn from_sorted(v: Vec<u32>) -> LtSet {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "LtSet slices must be sorted + dedup'd");
+        if v.is_empty() {
+            LtSet::empty()
+        } else {
+            LtSet::Elems(Arc::from(v))
+        }
+    }
+
+    /// Membership test (⊤ contains everything).
+    pub fn contains(&self, id: VarId) -> bool {
+        match self {
+            LtSet::Top => true,
+            LtSet::Elems(s) => s.binary_search(&id.raw()).is_ok(),
+        }
+    }
+
+    /// Cardinality, `None` for ⊤.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            LtSet::Top => None,
+            LtSet::Elems(s) => Some(s.len()),
+        }
+    }
+
+    /// Whether this is the empty set (⊤ is not).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, LtSet::Elems(s) if s.is_empty())
+    }
+
+    /// Whether this is the symbolic ⊤.
+    pub fn is_top(&self) -> bool {
+        matches!(self, LtSet::Top)
+    }
+
+    /// The explicit slice, `None` for ⊤.
+    pub fn as_elems(&self) -> Option<&Arc<[u32]>> {
+        match self {
+            LtSet::Top => None,
+            LtSet::Elems(s) => Some(s),
+        }
+    }
+
+    /// The members in ascending order (⊤ yields nothing — callers decide
+    /// how to surface symbolic tops).
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.as_elems().into_iter().flat_map(|s| s.iter().map(|&i| VarId::new(i)))
+    }
+}
+
+/// Evaluates one constraint's right-hand side over the current sets — the
+/// paper's transfer functions, shared verbatim by both solvers.
+pub(crate) fn eval(c: &Constraint, sets: &[LtSet]) -> LtSet {
+    match c {
+        Constraint::Init { .. } => LtSet::empty(),
+        Constraint::Copy { source, .. } => sets[source.index()].clone(),
+        Constraint::Union { elems, sources, .. } => {
+            if sources.iter().any(|s| sets[s.index()].is_top()) {
+                return LtSet::Top; // {x} ∪ ⊤ = ⊤
+            }
+            let mut acc: Vec<u32> = elems.iter().map(|e| e.raw()).collect();
+            for s in sources {
+                acc.extend_from_slice(sets[s.index()].as_elems().expect("checked above"));
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            LtSet::from_sorted(acc)
+        }
+        Constraint::Inter { sources, .. } => {
+            debug_assert!(!sources.is_empty(), "empty intersections are generated as Init");
+            // ⊤ is the identity of ∩; intersect the explicit sources,
+            // smallest first so the working set only shrinks.
+            let mut explicit: Vec<&Arc<[u32]>> =
+                sources.iter().filter_map(|s| sets[s.index()].as_elems()).collect();
+            if explicit.is_empty() {
+                return LtSet::Top; // all sources still ⊤
+            }
+            explicit.sort_by_key(|s| s.len());
+            let mut acc: Vec<u32> = explicit[0].to_vec();
+            for s in &explicit[1..] {
+                acc = intersect_sorted(&acc, s);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            LtSet::from_sorted(acc)
+        }
+    }
+}
+
+/// Intersection of two sorted, deduplicated slices by linear merge.
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Debug check: the lattice only ever descends (`new ⊆ old`).
+#[cfg(debug_assertions)]
+pub(crate) fn decreases(old: &LtSet, new: &LtSet) -> bool {
+    match (old, new) {
+        (LtSet::Top, _) => true,
+        (LtSet::Elems(_), LtSet::Top) => false,
+        (LtSet::Elems(o), LtSet::Elems(n)) => {
+            intersect_sorted(o, n).len() == n.len() // n ⊆ o
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+pub(crate) fn decreases(_old: &LtSet, _new: &LtSet) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_sorted_merges() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn lattice_queries() {
+        let top = LtSet::Top;
+        let set = LtSet::from_sorted(vec![1, 4, 9]);
+        assert!(top.contains(VarId::new(1000)) && top.len().is_none() && !top.is_empty());
+        assert!(set.contains(VarId::new(4)) && !set.contains(VarId::new(5)));
+        assert_eq!(set.len(), Some(3));
+        assert!(LtSet::empty().is_empty());
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![VarId::new(1), VarId::new(4), VarId::new(9)]
+        );
+    }
+
+    #[test]
+    fn equality_is_structural_with_pointer_fast_path() {
+        let a = LtSet::from_sorted(vec![1, 2]);
+        let b = a.clone(); // shares the allocation
+        let c = LtSet::from_sorted(vec![1, 2]); // fresh allocation
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, LtSet::Top);
+        assert_ne!(a, LtSet::empty());
+    }
+
+    #[test]
+    fn empty_sets_share_one_allocation() {
+        let (LtSet::Elems(a), LtSet::Elems(b)) = (LtSet::empty(), LtSet::empty()) else {
+            panic!("empty() is an explicit set")
+        };
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn decreases_checks_subset() {
+        let big = LtSet::from_sorted(vec![1, 2, 3]);
+        let small = LtSet::from_sorted(vec![2]);
+        assert!(decreases(&LtSet::Top, &big));
+        assert!(decreases(&big, &small) || cfg!(not(debug_assertions)));
+        #[cfg(debug_assertions)]
+        {
+            assert!(!decreases(&small, &big));
+            assert!(!decreases(&small, &LtSet::Top));
+        }
+    }
+}

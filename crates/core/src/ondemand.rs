@@ -4,8 +4,8 @@
 //! to compute a transitive closure of less-than relations, whereas ABCD
 //! works on demand". This module implements the on-demand alternative over
 //! the *same* constraint system, so the two strategies can be compared —
-//! `benches/queries.rs` measures the trade-off and the differential tests
-//! prove they answer identically.
+//! `benches/queries.rs` measures the trade-off, and the differential and
+//! property tests prove they answer identically.
 //!
 //! A query `y ∈ LT(x)?` runs a backwards proof search over the constraint
 //! defining `x`:
@@ -22,6 +22,7 @@
 //! that leaned on an unresolved outer assumption must not be cached.
 
 use crate::constraints::{Constraint, ConstraintSystem};
+use crate::var_index::VarId;
 use std::collections::HashMap;
 
 /// On-demand prover over a generated [`ConstraintSystem`].
@@ -43,15 +44,15 @@ impl<'a> OnDemandProver<'a> {
     pub fn new(sys: &'a ConstraintSystem) -> Self {
         let mut def_of = vec![None; sys.num_vars];
         for (i, c) in sys.constraints.iter().enumerate() {
-            def_of[c.defined()] = Some(i as u32);
+            def_of[c.defined().index()] = Some(i as u32);
         }
         Self { sys, def_of, memo: HashMap::new(), visits: 0 }
     }
 
     /// Does `a < b` hold (`a ∈ LT(b)`)?
-    pub fn less_than(&mut self, a: usize, b: usize) -> bool {
+    pub fn less_than(&mut self, a: VarId, b: VarId) -> bool {
         let mut stack = Vec::new();
-        self.prove(a as u32, b as u32, &mut stack).0
+        self.prove(a.raw(), b.raw(), &mut stack).0
     }
 
     /// Returns `(holds, lowest stack depth of any assumption used)`;
@@ -74,18 +75,18 @@ impl<'a> OnDemandProver<'a> {
             Some(ci) => match &self.sys.constraints[ci as usize] {
                 Constraint::Init { .. } => (false, usize::MAX),
                 Constraint::Copy { source, .. } => {
-                    let s = *source as u32;
+                    let s = source.raw();
                     self.prove(y, s, stack)
                 }
                 Constraint::Union { elems, sources, .. } => {
-                    if elems.contains(&(y as usize)) {
+                    if elems.contains(&VarId::new(y)) {
                         (true, usize::MAX)
                     } else {
                         let sources = sources.clone();
                         let mut lowest = usize::MAX;
                         let mut holds = false;
                         for s in sources {
-                            let (h, l) = self.prove(y, s as u32, stack);
+                            let (h, l) = self.prove(y, s.raw(), stack);
                             if h {
                                 holds = true;
                                 lowest = l;
@@ -100,7 +101,7 @@ impl<'a> OnDemandProver<'a> {
                     let mut lowest = usize::MAX;
                     let mut holds = true;
                     for s in sources {
-                        let (h, l) = self.prove(y, s as u32, stack);
+                        let (h, l) = self.prove(y, s.raw(), stack);
                         lowest = lowest.min(l);
                         if !h {
                             holds = false;
@@ -133,37 +134,49 @@ mod tests {
     use crate::constraints::GenConfig;
     use crate::solver;
 
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn vs(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().copied().map(VarId::new).collect()
+    }
+
+    fn bare_system(constraints: Vec<Constraint>, num_vars: usize) -> ConstraintSystem {
+        ConstraintSystem {
+            constraints,
+            num_vars,
+            param_info: vec![],
+            param_union: Default::default(),
+        }
+    }
+
     /// On-demand answers must equal the closure's answers — on the paper's
     /// Example 3.4 system.
     #[test]
     fn agrees_with_solver_on_paper_example() {
         use Constraint as C;
         let constraints = vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Inter { x: 2, sources: vec![1, 3] },
-            C::Union { x: 3, elems: vec![2], sources: vec![2] },
-            C::Init { x: 4 },
-            C::Union { x: 5, elems: vec![4], sources: vec![2] },
-            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] },
-            C::Copy { x: 8, source: 1 },
-            C::Union { x: 10, elems: vec![], sources: vec![8, 4] },
-            C::Copy { x: 9, source: 4 },
-            C::Inter { x: 6, sources: vec![3, 9, 4] },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Inter { x: v(2), sources: vs(&[1, 3]) },
+            C::Union { x: v(3), elems: vs(&[2]), sources: vs(&[2]) },
+            C::Init { x: v(4) },
+            C::Union { x: v(5), elems: vs(&[4]), sources: vs(&[2]) },
+            C::Union { x: v(7), elems: vs(&[9]), sources: vs(&[9, 1]) },
+            C::Copy { x: v(8), source: v(1) },
+            C::Union { x: v(10), elems: vec![], sources: vs(&[8, 4]) },
+            C::Copy { x: v(9), source: v(4) },
+            C::Inter { x: v(6), sources: vs(&[3, 9, 4]) },
         ];
-        let sys = ConstraintSystem {
-            constraints,
-            num_vars: 11,
-            param_info: vec![],
-            param_union: Default::default(),
-        };
+        let sys = bare_system(constraints, 11);
         let solution = solver::solve(&sys.constraints, sys.num_vars);
         let mut prover = OnDemandProver::new(&sys);
         for x in 0..11 {
             for y in 0..11 {
                 assert_eq!(
-                    prover.less_than(y, x),
-                    solution.less_than(y, x),
+                    prover.less_than(v(y), v(x)),
+                    solution.less_than(v(y), v(x)),
                     "disagreement on {y} < {x}"
                 );
             }
@@ -184,12 +197,12 @@ mod tests {
             let sys = crate::constraints::generate(&m, &ranges, GenConfig::default());
             let solution = solver::solve(&sys.constraints, sys.num_vars);
             let mut prover = OnDemandProver::new(&sys);
-            let n = sys.num_vars.min(160);
+            let n = sys.num_vars.min(160) as u32;
             for x in 0..n {
                 for y in 0..n {
                     assert_eq!(
-                        prover.less_than(y, x),
-                        solution.less_than(y, x),
+                        prover.less_than(v(y), v(x)),
+                        solution.less_than(v(y), v(x)),
                         "disagreement on {y} < {x} for: {src}"
                     );
                 }
@@ -202,24 +215,21 @@ mod tests {
     #[test]
     fn phi_cycles_resolve_coinductively() {
         use Constraint as C;
-        let constraints = vec![
-            C::Init { x: 0 },
-            C::Inter { x: 1, sources: vec![0, 2] },
-            C::Union { x: 2, elems: vec![1], sources: vec![1] },
-        ];
-        let sys = ConstraintSystem {
-            constraints,
-            num_vars: 3,
-            param_info: vec![],
-            param_union: Default::default(),
-        };
+        let sys = bare_system(
+            vec![
+                C::Init { x: v(0) },
+                C::Inter { x: v(1), sources: vs(&[0, 2]) },
+                C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) },
+            ],
+            3,
+        );
         let mut prover = OnDemandProver::new(&sys);
-        assert!(prover.less_than(1, 2), "i < i+1");
-        assert!(!prover.less_than(2, 1));
-        assert!(!prover.less_than(0, 1));
+        assert!(prover.less_than(v(1), v(2)), "i < i+1");
+        assert!(!prover.less_than(v(2), v(1)));
+        assert!(!prover.less_than(v(0), v(1)));
         // Memoisation must not corrupt later queries.
-        assert!(prover.less_than(1, 2));
-        assert!(!prover.less_than(2, 2));
+        assert!(prover.less_than(v(1), v(2)));
+        assert!(!prover.less_than(v(2), v(2)));
     }
 
     /// Ungrounded union cycles stay ⊤ in the solver (then frozen); the
@@ -229,20 +239,56 @@ mod tests {
     #[test]
     fn ungrounded_cycles_are_the_documented_divergence() {
         use Constraint as C;
-        let constraints = vec![
-            C::Union { x: 0, elems: vec![1], sources: vec![1] },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-        ];
-        let sys = ConstraintSystem {
-            constraints,
-            num_vars: 2,
-            param_info: vec![],
-            param_union: Default::default(),
-        };
+        let sys = bare_system(
+            vec![
+                C::Union { x: v(0), elems: vs(&[1]), sources: vs(&[1]) },
+                C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            ],
+            2,
+        );
         let solution = solver::solve(&sys.constraints, sys.num_vars);
         let mut prover = OnDemandProver::new(&sys);
         // Solver freezes ⊤ → ∅ (conservative); prover reports the raw gfp.
-        assert!(!solution.less_than(0, 1));
-        assert!(prover.less_than(0, 1), "raw greatest fixpoint keeps the cycle at ⊤");
+        assert!(!solution.less_than(v(0), v(1)));
+        assert!(solution.was_top(v(1)), "the solution records the frozen ⊤");
+        assert!(prover.less_than(v(0), v(1)), "raw greatest fixpoint keeps the cycle at ⊤");
+    }
+
+    mod properties {
+        use super::*;
+        use crate::test_systems::grounded_systems;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// On random *grounded* constraint graphs (every variable has
+            /// a defining constraint — the invariant real constraint
+            /// generation upholds), the on-demand prover answers exactly
+            /// the exhaustive fixpoint, modulo the documented freeze
+            /// divergence: where the exhaustive solution froze a ⊤ (an
+            /// ungrounded cycle), the prover reports the raw greatest
+            /// fixpoint, i.e. `true` for every candidate.
+            #[test]
+            fn on_demand_equals_exhaustive_fixpoint((cs, n) in grounded_systems()) {
+                let sys = ConstraintSystem {
+                    constraints: cs,
+                    num_vars: n,
+                    param_info: vec![],
+                    param_union: Default::default(),
+                };
+                let solution = solver::solve(&sys.constraints, sys.num_vars);
+                let mut prover = OnDemandProver::new(&sys);
+                for x in 0..n as u32 {
+                    for y in 0..n as u32 {
+                        let expected = solution.was_top(v(x)) || solution.less_than(v(y), v(x));
+                        prop_assert_eq!(
+                            prover.less_than(v(y), v(x)),
+                            expected,
+                            "disagreement on {} < {} (frozen: {})",
+                            y, x, solution.was_top(v(x))
+                        );
+                    }
+                }
+            }
+        }
     }
 }

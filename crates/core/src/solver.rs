@@ -1,11 +1,14 @@
-//! The worklist constraint solver — the paper's Section 3.4.
+//! The worklist constraint solver — the paper's Section 3.4 — and the
+//! solver-independent [`Solution`] / [`SolveStats`] types both fixpoint
+//! strategies produce.
 //!
 //! Every `LT(x)` starts at ⊤ = `V` (the set of all program variables) and
 //! decreases monotonically until a fixed point — the greatest fixpoint
 //! over the lattice `PV = ⟨V, ∩, ⊥ = ∅, ⊤ = V, ⊆⟩` (paper Theorem 3.7).
 //! Rather than materialising `V` per variable (quadratic memory), ⊤ is
-//! represented symbolically ([`LtSet::Top`]) with identical lattice
-//! semantics: `⊤ ∩ S = S`, `{x} ∪ ⊤ = ⊤`.
+//! represented symbolically ([`LtSet::Top`]); the set algebra itself lives
+//! in [`crate::lt_set`] and is shared verbatim with the SCC solver
+//! ([`crate::fast_solver`]) — the two differ only in scheduling.
 //!
 //! The solver counts worklist pops: the paper reports that, in practice,
 //! each constraint is visited ≈ 2.12 times before the fixpoint, which is
@@ -14,59 +17,42 @@
 //!
 //! Variables whose set is still ⊤ at the fixpoint can only belong to code
 //! unreachable from any grounded definition (e.g. dead functions);
-//! the freeze step in [`solve`] conservatively demotes them to ∅ so that queries
-//! never rely on vacuous facts.
+//! the freeze step in `Solution::freeze` conservatively demotes them to
+//! ∅ so that queries never rely on vacuous facts.
 
 use crate::constraints::Constraint;
-use std::collections::HashSet;
+use crate::lt_set::{decreases, empty_arc, eval, LtSet};
+use crate::var_index::VarId;
+use std::sync::Arc;
 
-/// A less-than set during solving: ⊤ or an explicit set of variable ids.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum LtSet {
-    /// The full set `V` (symbolic).
-    Top,
-    /// An explicit set.
-    Set(HashSet<u32>),
-}
-
-impl LtSet {
-    /// Membership test (⊤ contains everything).
-    pub fn contains(&self, id: usize) -> bool {
-        match self {
-            LtSet::Top => true,
-            LtSet::Set(s) => s.contains(&(id as u32)),
-        }
-    }
-
-    /// Cardinality, `None` for ⊤.
-    pub fn len(&self) -> Option<usize> {
-        match self {
-            LtSet::Top => None,
-            LtSet::Set(s) => Some(s.len()),
-        }
-    }
-
-    /// Whether this is the empty set.
-    pub fn is_empty(&self) -> bool {
-        matches!(self, LtSet::Set(s) if s.is_empty())
-    }
-}
-
-/// Counters for the scalability study (paper §4.2 and Figure 11).
+/// Counters for the scalability study (paper §4.2 and Figure 11), shared
+/// by both solver strategies. The worklist solver leaves the SCC fields
+/// at zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Number of constraints solved.
     pub constraints: usize,
     /// Number of variables in the system.
     pub variables: usize,
-    /// Worklist pops until the fixed point (≈ 2 × constraints in practice).
+    /// Constraint evaluations until the fixed point: worklist pops for
+    /// the baseline strategy (≈ 2 × constraints in practice), per-SCC
+    /// evaluations for the condensation strategy.
     pub pops: u64,
-    /// Variables still ⊤ at the fixpoint, demoted to ∅ by `freeze`.
+    /// Variables still ⊤ at the fixpoint, demoted to ∅ by the freeze.
     pub frozen_tops: usize,
+    /// Strongly connected components in the constraint dependency graph
+    /// (SCC strategy only; 0 for the worklist).
+    pub sccs: usize,
+    /// Components with more than one constraint (or a self-loop).
+    pub cyclic_sccs: usize,
+    /// Cyclic components short-circuited as union-only (stay ⊤, frozen ∅).
+    pub union_cycles: usize,
 }
 
 impl SolveStats {
-    /// Pops per constraint — the paper reports ≈ 2.12 on its corpus.
+    /// Evaluations per constraint — the paper reports ≈ 2.12 on its
+    /// corpus for the worklist; the SCC strategy achieves exactly 1.0 on
+    /// acyclic systems.
     pub fn pops_per_constraint(&self) -> f64 {
         if self.constraints == 0 {
             0.0
@@ -76,36 +62,72 @@ impl SolveStats {
     }
 }
 
-/// The solved less-than relation.
+/// The solved less-than relation: one sorted, shareable slice per
+/// variable. Produced by either strategy ([`solve`],
+/// [`solve_fast`](crate::fast_solver::solve_fast)) — the representation,
+/// query API and iteration order are identical, so downstream consumers
+/// cannot tell the strategies apart (the differential tests insist).
 #[derive(Clone, Debug)]
 pub struct Solution {
-    sets: Vec<LtSet>,
+    sets: Vec<Arc<[u32]>>,
+    /// Sorted raw ids that were still ⊤ pre-freeze (dead/ungrounded code).
+    frozen: Box<[u32]>,
     /// Solver statistics.
     pub stats: SolveStats,
 }
 
 impl Solution {
-    /// Assembles a solution from pre-computed parts. Used by
-    /// [`FastSolution::into_solution`](crate::fast_solver::FastSolution::into_solution).
-    pub(crate) fn from_parts(sets: Vec<LtSet>, stats: SolveStats) -> Self {
-        Self { sets, stats }
+    /// Final step of either solver: demote residual ⊤ (vacuous facts in
+    /// unreachable code) to ∅, recording which variables were demoted.
+    pub(crate) fn freeze(sets: Vec<LtSet>, mut stats: SolveStats) -> Self {
+        let mut frozen = Vec::new();
+        let sets: Vec<Arc<[u32]>> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                LtSet::Top => {
+                    frozen.push(i as u32);
+                    empty_arc()
+                }
+                LtSet::Elems(a) => a,
+            })
+            .collect();
+        stats.frozen_tops = frozen.len();
+        Self { sets, frozen: frozen.into_boxed_slice(), stats }
     }
 
     /// Whether variable `a` is strictly less than `b` (i.e. `a ∈ LT(b)`).
-    pub fn less_than(&self, a: usize, b: usize) -> bool {
-        self.sets.get(b).is_some_and(|s| s.contains(a))
+    pub fn less_than(&self, a: VarId, b: VarId) -> bool {
+        self.sets.get(b.index()).is_some_and(|s| s.binary_search(&a.raw()).is_ok())
     }
 
-    /// The `LT` set of `x` as a sorted vector of ids.
-    pub fn lt_set(&self, x: usize) -> Vec<usize> {
-        match &self.sets[x] {
-            LtSet::Top => Vec::new(), // frozen solutions never expose ⊤
-            LtSet::Set(s) => {
-                let mut v: Vec<usize> = s.iter().map(|&i| i as usize).collect();
-                v.sort_unstable();
-                v
-            }
-        }
+    /// The `LT` set of `x` as a sorted slice of raw [`VarId`]s.
+    pub fn lt_set(&self, x: VarId) -> &[u32] {
+        &self.sets[x.index()]
+    }
+
+    /// The `LT` set of `x` in ascending [`VarId`] order.
+    pub fn lt_vars(&self, x: VarId) -> impl Iterator<Item = VarId> + '_ {
+        self.sets[x.index()].iter().map(|&i| VarId::new(i))
+    }
+
+    /// Whether `x` was still ⊤ at the fixpoint (and therefore frozen to
+    /// ∅). Such variables sit in code unreachable from any grounded
+    /// definition; the raw greatest fixpoint would keep them at `V`.
+    pub fn was_top(&self, x: VarId) -> bool {
+        self.frozen.binary_search(&(x.index() as u32)).is_ok()
+    }
+
+    /// Number of variables in the solution.
+    pub fn num_vars(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The shared allocation behind `LT(x)` — exposed for the sharing
+    /// tests.
+    #[cfg(test)]
+    pub(crate) fn set_arc(&self, x: VarId) -> &Arc<[u32]> {
+        &self.sets[x.index()]
     }
 
     /// Histogram entry: how many variables have an `LT` set of size `n`?
@@ -113,21 +135,23 @@ impl Solution {
     pub fn size_histogram(&self) -> Vec<(usize, usize)> {
         let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
         for s in &self.sets {
-            *counts.entry(s.len().unwrap_or(0)).or_default() += 1;
+            *counts.entry(s.len()).or_default() += 1;
         }
         counts.into_iter().collect()
     }
 }
 
-/// Solves the constraint system over `num_vars` variables.
+/// Solves the constraint system over `num_vars` variables with the
+/// paper's FIFO worklist. Produces the same fixpoint as
+/// [`solve_fast`](crate::fast_solver::solve_fast).
 pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
     let mut sets: Vec<LtSet> = vec![LtSet::Top; num_vars];
 
     // dependents[v] = indexes of constraints whose RHS reads LT(v).
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
     for (ci, c) in constraints.iter().enumerate() {
-        for &r in c.reads() {
-            dependents[r].push(ci as u32);
+        for r in c.reads() {
+            dependents[r.index()].push(ci as u32);
         }
     }
 
@@ -142,12 +166,12 @@ pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
         on_list[ci as usize] = false;
         stats.pops += 1;
         let c = &constraints[ci as usize];
-        let x = c.defined();
+        let x = c.defined().index();
         let new = eval(c, &sets);
         if new != sets[x] {
             debug_assert!(
                 decreases(&sets[x], &new),
-                "LT({x}) must only shrink: {:?} -> {new:?}",
+                "LT(v{x}) must only shrink: {:?} -> {new:?}",
                 sets[x]
             );
             sets[x] = new;
@@ -160,93 +184,39 @@ pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
         }
     }
 
-    // Freeze: demote residual ⊤ (vacuous facts in unreachable code) to ∅.
-    for s in &mut sets {
-        if matches!(s, LtSet::Top) {
-            *s = LtSet::Set(HashSet::new());
-            stats.frozen_tops += 1;
-        }
-    }
-
-    Solution { sets, stats }
-}
-
-fn eval(c: &Constraint, sets: &[LtSet]) -> LtSet {
-    match c {
-        Constraint::Init { .. } => LtSet::Set(HashSet::new()),
-        Constraint::Copy { source, .. } => sets[*source].clone(),
-        Constraint::Union { elems, sources, .. } => {
-            if sources.iter().any(|&s| matches!(sets[s], LtSet::Top)) {
-                return LtSet::Top; // {x} ∪ ⊤ = ⊤
-            }
-            let mut acc: HashSet<u32> = HashSet::new();
-            for &e in elems {
-                acc.insert(e as u32);
-            }
-            for &s in sources {
-                if let LtSet::Set(set) = &sets[s] {
-                    acc.extend(set.iter().copied());
-                }
-            }
-            LtSet::Set(acc)
-        }
-        Constraint::Inter { sources, .. } => {
-            debug_assert!(!sources.is_empty(), "empty intersections are generated as Init");
-            let mut acc: Option<HashSet<u32>> = None;
-            for &s in sources {
-                match &sets[s] {
-                    LtSet::Top => {} // identity of ∩
-                    LtSet::Set(set) => {
-                        acc = Some(match acc {
-                            None => set.clone(),
-                            Some(a) => a.intersection(set).copied().collect(),
-                        });
-                    }
-                }
-            }
-            match acc {
-                None => LtSet::Top, // all sources still ⊤
-                Some(a) => LtSet::Set(a),
-            }
-        }
-    }
-}
-
-#[cfg(debug_assertions)]
-fn decreases(old: &LtSet, new: &LtSet) -> bool {
-    match (old, new) {
-        (LtSet::Top, _) => true,
-        (LtSet::Set(_), LtSet::Top) => false,
-        (LtSet::Set(o), LtSet::Set(n)) => n.is_subset(o),
-    }
-}
-
-#[cfg(not(debug_assertions))]
-fn decreases(_old: &LtSet, _new: &LtSet) -> bool {
-    true
+    Solution::freeze(sets, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::constraints::Constraint as C;
+    use crate::var_index::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn vs(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().copied().map(VarId::new).collect()
+    }
 
     /// The paper's Example 3.4 constraint system (from its Figure 6
     /// program) with the variable numbering
     /// x0=0, x1=1, x2=2, x3=3, x4=4, x5=5, x6=6, x1t=7, x1f=8, x4t=9, x4f=10.
     fn example_3_4() -> Vec<C> {
         vec![
-            C::Init { x: 0 },                                       // LT(x0) = ∅
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },    // LT(x1) = {x0} ∪ LT(x0)
-            C::Inter { x: 2, sources: vec![1, 3] },                 // LT(x2) = LT(x1) ∩ LT(x3)
-            C::Union { x: 3, elems: vec![2], sources: vec![2] },    // LT(x3) = {x2} ∪ LT(x2)
-            C::Init { x: 4 },                                       // LT(x4) = ∅
-            C::Union { x: 5, elems: vec![4], sources: vec![2] },    // LT(x5) = {x4} ∪ LT(x2)
-            C::Union { x: 7, elems: vec![9], sources: vec![9, 1] }, // LT(x1t) = {x4t} ∪ LT(x4t) ∪ LT(x1)
-            C::Copy { x: 8, source: 1 },                            // LT(x1f) = LT(x1)
-            C::Union { x: 10, elems: vec![], sources: vec![8, 4] }, // LT(x4f) = LT(x1f) ∪ LT(x4)
-            C::Copy { x: 9, source: 4 },                            // LT(x4t) = LT(x4)
-            C::Inter { x: 6, sources: vec![3, 9, 4] }, // LT(x6) = LT(x3) ∩ LT(x4t) ∩ LT(x4)
+            C::Init { x: v(0) },                                         // LT(x0) = ∅
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },    // LT(x1) = {x0} ∪ LT(x0)
+            C::Inter { x: v(2), sources: vs(&[1, 3]) },                  // LT(x2) = LT(x1) ∩ LT(x3)
+            C::Union { x: v(3), elems: vs(&[2]), sources: vs(&[2]) },    // LT(x3) = {x2} ∪ LT(x2)
+            C::Init { x: v(4) },                                         // LT(x4) = ∅
+            C::Union { x: v(5), elems: vs(&[4]), sources: vs(&[2]) },    // LT(x5) = {x4} ∪ LT(x2)
+            C::Union { x: v(7), elems: vs(&[9]), sources: vs(&[9, 1]) }, // LT(x1t)
+            C::Copy { x: v(8), source: v(1) },                           // LT(x1f) = LT(x1)
+            C::Union { x: v(10), elems: vec![], sources: vs(&[8, 4]) },  // LT(x4f)
+            C::Copy { x: v(9), source: v(4) },                           // LT(x4t) = LT(x4)
+            C::Inter { x: v(6), sources: vs(&[3, 9, 4]) },               // LT(x6)
         ]
     }
 
@@ -254,11 +224,11 @@ mod tests {
     #[test]
     fn example_3_5_fixpoint() {
         let sol = solve(&example_3_4(), 11);
-        let set = |x: usize| sol.lt_set(x);
-        assert_eq!(set(0), vec![] as Vec<usize>, "LT(x0) = ∅");
-        assert_eq!(set(4), vec![] as Vec<usize>, "LT(x4) = ∅");
-        assert_eq!(set(9), vec![] as Vec<usize>, "LT(x4t) = ∅");
-        assert_eq!(set(6), vec![] as Vec<usize>, "LT(x6) = ∅");
+        let set = |x: u32| sol.lt_set(v(x)).to_vec();
+        assert_eq!(set(0), vec![] as Vec<u32>, "LT(x0) = ∅");
+        assert_eq!(set(4), vec![] as Vec<u32>, "LT(x4) = ∅");
+        assert_eq!(set(9), vec![] as Vec<u32>, "LT(x4t) = ∅");
+        assert_eq!(set(6), vec![] as Vec<u32>, "LT(x6) = ∅");
         assert_eq!(set(1), vec![0], "LT(x1) = {{x0}}");
         assert_eq!(set(2), vec![0], "LT(x2) = {{x0}}");
         assert_eq!(set(10), vec![0], "LT(x4f) = {{x0}}");
@@ -272,27 +242,28 @@ mod tests {
     fn transitivity_through_union_chains() {
         // x1 = x0 + 1; x2 = x1 + 1; x3 = x2 + 1 → LT(x3) = {x0, x1, x2}.
         let cs = vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Union { x: 2, elems: vec![1], sources: vec![1] },
-            C::Union { x: 3, elems: vec![2], sources: vec![2] },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) },
+            C::Union { x: v(3), elems: vs(&[2]), sources: vs(&[2]) },
         ];
         let sol = solve(&cs, 4);
-        assert_eq!(sol.lt_set(3), vec![0, 1, 2]);
-        assert!(sol.less_than(0, 3), "transitive closure: x0 < x3");
+        assert_eq!(sol.lt_set(v(3)), &[0, 1, 2]);
+        assert!(sol.less_than(v(0), v(3)), "transitive closure: x0 < x3");
+        assert_eq!(sol.lt_vars(v(3)).collect::<Vec<_>>(), vs(&[0, 1, 2]));
     }
 
     #[test]
     fn loop_phi_reaches_fixpoint() {
         // i = φ(c, i2); i2 = i + 1, with c grounded at ∅.
         let cs = vec![
-            C::Init { x: 0 },                                    // c
-            C::Inter { x: 1, sources: vec![0, 2] },              // i
-            C::Union { x: 2, elems: vec![1], sources: vec![1] }, // i2
+            C::Init { x: v(0) },                                      // c
+            C::Inter { x: v(1), sources: vs(&[0, 2]) },               // i
+            C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) }, // i2
         ];
         let sol = solve(&cs, 3);
-        assert_eq!(sol.lt_set(1), vec![] as Vec<usize>);
-        assert_eq!(sol.lt_set(2), vec![1]);
+        assert_eq!(sol.lt_set(v(1)), &[] as &[u32]);
+        assert_eq!(sol.lt_set(v(2)), &[1]);
         assert!(sol.stats.pops >= cs.len() as u64);
     }
 
@@ -300,38 +271,49 @@ mod tests {
     fn tops_are_frozen_to_empty() {
         // A union cycle with no grounding (dead code): stays ⊤, frozen.
         let cs = vec![
-            C::Union { x: 0, elems: vec![1], sources: vec![1] },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
+            C::Union { x: v(0), elems: vs(&[1]), sources: vs(&[1]) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
         ];
         let sol = solve(&cs, 2);
         assert_eq!(sol.stats.frozen_tops, 2);
-        assert!(!sol.less_than(0, 1), "frozen ⊤ must answer conservatively");
-        assert!(!sol.less_than(1, 0));
+        assert!(!sol.less_than(v(0), v(1)), "frozen ⊤ must answer conservatively");
+        assert!(!sol.less_than(v(1), v(0)));
+        assert!(sol.was_top(v(0)) && sol.was_top(v(1)));
+    }
+
+    #[test]
+    fn frozen_tracking_distinguishes_grounded_vars() {
+        let cs =
+            vec![C::Init { x: v(0) }, C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) }];
+        let sol = solve(&cs, 3); // v2 is undefined → stays ⊤ → frozen
+        assert!(!sol.was_top(v(0)) && !sol.was_top(v(1)));
+        assert!(sol.was_top(v(2)));
+        assert_eq!(sol.stats.frozen_tops, 1);
     }
 
     #[test]
     fn pops_stay_near_linear() {
         // A long chain: every constraint should be visited O(1) times.
-        let n = 1000usize;
-        let mut cs = vec![C::Init { x: 0 }];
+        let n = 1000u32;
+        let mut cs = vec![C::Init { x: v(0) }];
         for i in 1..n {
-            cs.push(C::Union { x: i, elems: vec![i - 1], sources: vec![i - 1] });
+            cs.push(C::Union { x: v(i), elems: vs(&[i - 1]), sources: vs(&[i - 1]) });
         }
-        let sol = solve(&cs, n);
+        let sol = solve(&cs, n as usize);
         assert!(
             sol.stats.pops_per_constraint() <= 3.0,
             "chain should be ~1 pop per constraint, got {}",
             sol.stats.pops_per_constraint()
         );
-        assert_eq!(sol.lt_set(n - 1).len(), n - 1);
+        assert_eq!(sol.lt_set(v(n - 1)).len(), n as usize - 1);
     }
 
     #[test]
     fn histogram_counts_set_sizes() {
         let cs = vec![
-            C::Init { x: 0 },
-            C::Union { x: 1, elems: vec![0], sources: vec![0] },
-            C::Union { x: 2, elems: vec![1], sources: vec![1] },
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Union { x: v(2), elems: vs(&[1]), sources: vs(&[1]) },
         ];
         let sol = solve(&cs, 3);
         let h = sol.size_histogram();
@@ -343,5 +325,6 @@ mod tests {
         let sol = solve(&[], 0);
         assert_eq!(sol.stats.pops, 0);
         assert_eq!(sol.stats.constraints, 0);
+        assert_eq!(sol.num_vars(), 0);
     }
 }

@@ -1,11 +1,61 @@
-//! A flat numbering of every value in a module.
+//! Interned variable identities for the module-wide constraint universe.
 //!
 //! The less-than analysis is inter-procedural (paper Section 4): its
 //! constraint system spans all functions at once, with pseudo-φs binding
 //! formal to actual parameters. Constraints therefore address variables by
-//! a dense module-wide index rather than per-function [`Value`]s.
+//! an interned, dense module-wide [`VarId`] rather than per-function
+//! [`Value`]s — [`VarIndex`] is the arena that mints them and maps back.
+//!
+//! Every layer of the engine speaks `VarId`: constraint generation
+//! ([`crate::constraints`]), both fixpoint solvers ([`crate::solver`],
+//! [`crate::fast_solver`]), the on-demand prover ([`crate::ondemand`]) and
+//! the query layer ([`crate::DisambiguationEngine`]). No layer passes raw
+//! integers or ad-hoc ids across an API boundary.
 
 use sraa_ir::{FuncId, Module, Value};
+
+/// An interned variable in the module-wide constraint universe.
+///
+/// A `VarId` is either a real program value (minted by [`VarIndex::id`])
+/// or a synthetic solver variable (pseudo-φ intermediates, minted past
+/// [`VarIndex::len`] by constraint generation). Ids are dense: solvers
+/// index their lattice state by [`VarId::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Wraps a raw id.
+    pub const fn new(raw: u32) -> Self {
+        VarId(raw)
+    }
+
+    /// A `VarId` from a dense array index.
+    pub const fn from_index(i: usize) -> Self {
+        VarId(i as u32)
+    }
+
+    /// The raw `u32` — the representation stored inside `LT` sets.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The dense array index of this variable.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(raw: u32) -> Self {
+        VarId(raw)
+    }
+}
 
 /// Dense module-wide variable numbering: `id = offset(func) + value index`.
 #[derive(Clone, Debug)]
@@ -36,13 +86,14 @@ impl VarIndex {
         self.total == 0
     }
 
-    /// The flat id of `v` in function `f`.
-    pub fn id(&self, f: FuncId, v: Value) -> usize {
-        self.offsets[f.index()] + v.index()
+    /// The interned id of `v` in function `f`.
+    pub fn id(&self, f: FuncId, v: Value) -> VarId {
+        VarId::from_index(self.offsets[f.index()] + v.index())
     }
 
-    /// Inverse mapping: which function does flat id `id` belong to?
-    pub fn func_of(&self, id: usize) -> (FuncId, Value) {
+    /// Inverse mapping: which function does `id` belong to?
+    pub fn func_of(&self, id: VarId) -> (FuncId, Value) {
+        let id = id.index();
         let fi = match self.offsets.binary_search(&id) {
             Ok(i) => i,
             Err(i) => i - 1,
@@ -79,5 +130,16 @@ mod tests {
         let ix = VarIndex::new(&Module::new());
         assert!(ix.is_empty());
         assert_eq!(ix.len(), 0);
+    }
+
+    #[test]
+    fn var_ids_are_ordered_and_printable() {
+        let a = VarId::new(3);
+        let b = VarId::from_index(7);
+        assert!(a < b);
+        assert_eq!(b.index(), 7);
+        assert_eq!(a.raw(), 3);
+        assert_eq!(format!("{a}"), "v3");
+        assert_eq!(VarId::from(9u32), VarId::new(9));
     }
 }

@@ -3,11 +3,11 @@
 //! These are substrate passes, not part of the paper's analysis pipeline —
 //! LLVM runs its own simplifications before the paper's passes, and these
 //! give the workspace the same vocabulary. They are deliberately *not*
-//! wired into [`StrictInequalityAnalysis::run`]: the workload calibration
+//! wired into [`DisambiguationEngine::run`]: the workload calibration
 //! in `sraa-synth` targets un-optimised input (see DESIGN.md), and keeping
 //! the passes explicit lets the ablation harness measure their effect.
 //!
-//! [`StrictInequalityAnalysis::run`]: ../../sraa_core/struct.StrictInequalityAnalysis.html
+//! [`DisambiguationEngine::run`]: ../../sraa_core/engine/struct.DisambiguationEngine.html
 
 pub mod dce;
 pub mod fold;

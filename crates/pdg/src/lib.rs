@@ -21,6 +21,11 @@
 //! Besides data dependences, the graph carries Ferrante-style *control
 //! dependence* edges (branch terminator → every instruction of each block
 //! that is control-dependent on it), computed from post-dominators.
+//!
+//! The builder is parameterised by any [`AliasAnalysis`]; when driven by
+//! the strict-inequality backend it queries the shared
+//! `sraa_core::DisambiguationEngine`, whose memoized pair cache absorbs
+//! the all-pairs access pattern of the class construction below.
 
 use sraa_alias::{AliasAnalysis, AliasResult};
 use sraa_ir::{Cfg, FuncId, InstKind, Module, PostDomTree, Value};
@@ -161,10 +166,8 @@ mod tests {
         let lt = StrictInequalityAa::new(&mut m);
         let ba = BasicAliasAnalysis::new(&m);
         let g_ba = DepGraph::build(&m, &ba);
-        let combined = Combined::new(vec![
-            Box::new(BasicAliasAnalysis::new(&m)),
-            Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-        ]);
+        let combined =
+            Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
         let g_both = DepGraph::build(&m, &combined);
         assert_eq!(g_ba.static_accesses, g_both.static_accesses);
         (g_ba.memory_nodes, g_both.memory_nodes, g_ba.static_accesses)

@@ -47,10 +47,8 @@ fn main() {
     let lt = StrictInequalityAa::new(&mut module);
     let ba = BasicAliasAnalysis::new(&module);
     let cf = AndersenAnalysis::new(&module);
-    let ba_lt = Combined::new(vec![
-        Box::new(BasicAliasAnalysis::new(&module)),
-        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-    ]);
+    let ba_lt =
+        Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt.clone())]);
     let ba_cf = Combined::new(vec![
         Box::new(BasicAliasAnalysis::new(&module)),
         Box::new(AndersenAnalysis::new(&module)),
@@ -65,10 +63,10 @@ fn main() {
         AaEval::num_queries(&module),
     );
     println!(
-        "LT solver: {} constraints, {} worklist pops ({:.2} per constraint)\n",
-        lt.analysis().stats().constraints,
-        lt.analysis().stats().pops,
-        lt.analysis().stats().pops_per_constraint(),
+        "LT solver: {} constraints, {} constraint evaluations ({:.2} per constraint)\n",
+        lt.engine().stats().constraints,
+        lt.engine().stats().pops,
+        lt.engine().stats().pops_per_constraint(),
     );
 
     let analyses: Vec<&dyn AliasAnalysis> = vec![&ba, &lt, &cf, &ba_lt, &ba_cf];

@@ -39,10 +39,8 @@ fn main() {
     let mut module = sraa::minic::compile(SOURCE).expect("valid MiniC");
     let lt = StrictInequalityAa::new(&mut module);
     let ba = BasicAliasAnalysis::new(&module);
-    let both = Combined::new(vec![
-        Box::new(BasicAliasAnalysis::new(&module)),
-        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-    ]);
+    let both =
+        Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt.clone())]);
 
     let fid = module.function_by_name("ins_sort").unwrap();
     let f = module.function(fid);

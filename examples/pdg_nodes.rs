@@ -31,10 +31,8 @@ fn main() {
         GenConfig { range_offsets: true, ..Default::default() },
     );
     let ba = BasicAliasAnalysis::new(&module);
-    let both = Combined::new(vec![
-        Box::new(BasicAliasAnalysis::new(&module)),
-        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-    ]);
+    let both =
+        Combined::new(vec![Box::new(BasicAliasAnalysis::new(&module)), Box::new(lt.clone())]);
 
     let g_ba = DepGraph::build(&module, &ba);
     let g_both = DepGraph::build(&module, &both);

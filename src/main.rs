@@ -10,12 +10,18 @@
 //! sraa opt <file.c> [--ba]           optimise under BA+LT (or BA), print IR
 //! sraa gen <seed> <depth>            emit a Csmith-like random program
 //! ```
+//!
+//! The analysis-driven subcommands (`eval`, `lt`, `pdg`, `opt`) accept
+//! `--solver {worklist,scc}` (default `scc`) to pick the engine's fixpoint
+//! strategy; both produce identical answers, so the flag is a performance
+//! knob and a differential-testing hook.
 
 use sraa::alias::{
-    AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, Combined, SteensgaardAnalysis,
-    StrictInequalityAa,
+    AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, Combined, PentagonAa,
+    SteensgaardAnalysis, StrictInequalityAa,
 };
 use sraa::ir::{InstKind, Interpreter, ModuleStats};
+use sraa::lt::{EngineConfig, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -38,12 +44,39 @@ fn main() {
                  \n  run     <file.c> [ints...]  interpret main\
                  \n  pdg     <file.c>            PDG memory nodes\
                  \n  opt     <file.c> [--ba]     alias-driven optimisation\
-                 \n  gen     <seed> <depth>      random MiniC program"
+                 \n  gen     <seed> <depth>      random MiniC program\
+                 \n\
+                 \n  --solver {{worklist,scc}}     fixpoint strategy for\
+                 \n                              eval/lt/pdg/opt (default scc)"
             );
             2
         }
     };
     exit(code);
+}
+
+/// Extracts `--solver <kind>` from `args`, returning the remaining
+/// arguments and the chosen strategy (default [`SolverKind::Scc`]).
+fn take_solver(args: &[String]) -> Result<(Vec<String>, SolverKind), i32> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut kind = SolverKind::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--solver" {
+            let Some(value) = it.next() else {
+                eprintln!("--solver needs a value: worklist or scc");
+                return Err(2);
+            };
+            let Some(k) = SolverKind::parse(value) else {
+                eprintln!("unknown solver `{value}` (expected worklist or scc)");
+                return Err(2);
+            };
+            kind = k;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, kind))
 }
 
 fn load(path: &str) -> Result<sraa::ir::Module, i32> {
@@ -75,19 +108,21 @@ fn cmd_compile(args: &[String]) -> i32 {
 }
 
 fn cmd_eval(args: &[String]) -> i32 {
+    let Ok((args, solver)) = take_solver(args) else { return 2 };
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa eval <file.c>");
+        eprintln!("usage: sraa eval <file.c> [--solver worklist|scc]");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::new(&mut m);
+    let lt = StrictInequalityAa::with_engine_config(
+        &mut m,
+        EngineConfig { solver, ..Default::default() },
+    );
     let ba = BasicAliasAnalysis::new(&m);
     let cf = AndersenAnalysis::new(&m);
     let st = SteensgaardAnalysis::new(&m);
-    let ba_lt = Combined::new(vec![
-        Box::new(BasicAliasAnalysis::new(&m)),
-        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-    ]);
+    let pt = PentagonAa::on_prepared(&m); // the engine already produced e-SSA
+    let ba_lt = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
     let stats = ModuleStats::compute(&m);
     println!(
         "{} function(s), {} instruction(s), {} queries",
@@ -95,7 +130,7 @@ fn cmd_eval(args: &[String]) -> i32 {
         stats.instructions,
         AaEval::num_queries(&m)
     );
-    let analyses: Vec<&dyn AliasAnalysis> = vec![&ba, &lt, &cf, &st, &ba_lt];
+    let analyses: Vec<&dyn AliasAnalysis> = vec![&ba, &lt, &cf, &st, &pt, &ba_lt];
     println!("{:<8} {:>10} {:>10} {:>10} {:>8}", "analysis", "no-alias", "may", "must", "%no");
     for s in AaEval::run(&m, &analyses) {
         println!(
@@ -111,12 +146,16 @@ fn cmd_eval(args: &[String]) -> i32 {
 }
 
 fn cmd_lt(args: &[String]) -> i32 {
+    let Ok((args, solver)) = take_solver(args) else { return 2 };
     let (Some(path), Some(fname)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: sraa lt <file.c> <function>");
+        eprintln!("usage: sraa lt <file.c> <function> [--solver worklist|scc]");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::new(&mut m);
+    let lt = StrictInequalityAa::with_engine_config(
+        &mut m,
+        EngineConfig { solver, ..Default::default() },
+    );
     let Some(fid) = m.function_by_name(fname) else {
         eprintln!("no function `{fname}`");
         return 1;
@@ -128,7 +167,7 @@ fn cmd_lt(args: &[String]) -> i32 {
             if !data.has_result() || matches!(data.kind, InstKind::Const(_)) {
                 continue;
             }
-            let set = lt.analysis().lt_set(fid, v);
+            let set = lt.engine().lt_set(fid, v);
             if set.is_empty() {
                 continue;
             }
@@ -145,12 +184,13 @@ fn cmd_lt(args: &[String]) -> i32 {
             println!("  LT({v}) = {{{}}}", members.join(", "));
         }
     }
-    let s = lt.analysis().stats();
+    let s = lt.engine().stats();
     println!(
-        "\n{} constraints, {} pops ({:.2}/constraint)",
+        "\n{} constraints, {} pops ({:.2}/constraint) [{} solver]",
         s.constraints,
         s.pops,
-        s.pops_per_constraint()
+        s.pops_per_constraint(),
+        lt.engine().solver_kind()
     );
     0
 }
@@ -175,20 +215,21 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_pdg(args: &[String]) -> i32 {
+    let Ok((args, solver)) = take_solver(args) else { return 2 };
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa pdg <file.c>");
+        eprintln!("usage: sraa pdg <file.c> [--solver worklist|scc]");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::with_config(
+    let lt = StrictInequalityAa::with_engine_config(
         &mut m,
-        sraa::lt::GenConfig { range_offsets: true, ..Default::default() },
+        EngineConfig {
+            gen: sraa::lt::GenConfig { range_offsets: true, ..Default::default() },
+            solver,
+        },
     );
     let ba = BasicAliasAnalysis::new(&m);
-    let both = Combined::new(vec![
-        Box::new(BasicAliasAnalysis::new(&m)),
-        Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-    ]);
+    let both = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
     let g_ba = DepGraph::build(&m, &ba);
     let g_both = DepGraph::build(&m, &both);
     println!("static accesses : {}", g_ba.static_accesses);
@@ -200,19 +241,20 @@ fn cmd_pdg(args: &[String]) -> i32 {
 }
 
 fn cmd_opt(args: &[String]) -> i32 {
+    let Ok((args, solver)) = take_solver(args) else { return 2 };
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa opt <file.c> [--ba]");
+        eprintln!("usage: sraa opt <file.c> [--ba] [--solver worklist|scc]");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::new(&mut m);
+    let lt = StrictInequalityAa::with_engine_config(
+        &mut m,
+        EngineConfig { solver, ..Default::default() },
+    );
     let aa: Box<dyn AliasAnalysis> = if args.iter().any(|a| a == "--ba") {
         Box::new(BasicAliasAnalysis::new(&m))
     } else {
-        Box::new(Combined::new(vec![
-            Box::new(BasicAliasAnalysis::new(&m)),
-            Box::new(StrictInequalityAa::from_analysis(lt.analysis().clone())),
-        ]))
+        Box::new(Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]))
     };
     let mut stats = sraa::opt::eliminate_redundant_loads(&mut m, aa.as_ref());
     stats += sraa::opt::eliminate_dead_stores(&mut m, aa.as_ref());

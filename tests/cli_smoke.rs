@@ -86,7 +86,7 @@ fn eval_summarises_all_analyses() {
     let out = sraa(&["eval", f.to_str().unwrap()]);
     assert!(out.status.success());
     let summary = stdout(&out);
-    for analysis in ["BA", "LT", "CF", "ST", "BA+LT"] {
+    for analysis in ["BA", "LT", "CF", "ST", "PT", "BA+LT"] {
         assert!(summary.contains(analysis), "missing {analysis} row in:\n{summary}");
     }
 }
@@ -99,6 +99,64 @@ fn lt_prints_strict_inequality_sets() {
     let text = stdout(&out);
     assert!(text.contains("LT sets of @main"), "got:\n{text}");
     assert!(text.contains("constraints"), "missing solver stats in:\n{text}");
+}
+
+#[test]
+fn lt_solver_flag_selects_strategy_without_changing_sets() {
+    let f = tiny_file();
+    let path = f.to_str().unwrap();
+    let scc = sraa(&["lt", path, "main", "--solver", "scc"]);
+    let wl = sraa(&["lt", path, "main", "--solver", "worklist"]);
+    assert!(scc.status.success() && wl.status.success());
+    let (scc, wl) = (stdout(&scc), stdout(&wl));
+    assert!(scc.contains("[scc solver]"), "got:\n{scc}");
+    assert!(wl.contains("[worklist solver]"), "got:\n{wl}");
+    // Identical LT sets: only the stats line (strategy name + work
+    // counter) may differ.
+    fn sets(s: &str) -> Vec<String> {
+        s.lines().filter(|l| l.contains("LT(")).map(str::to_owned).collect()
+    }
+    assert_eq!(sets(&scc), sets(&wl), "solver strategies must print identical LT sets");
+}
+
+#[test]
+fn solver_flag_defaults_to_scc() {
+    let f = tiny_file();
+    let out = sraa(&["lt", f.to_str().unwrap(), "main"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("[scc solver]"), "got: {}", stdout(&out));
+}
+
+#[test]
+fn solver_flag_rejects_unknown_strategies() {
+    let f = tiny_file();
+    let out = sraa(&["eval", f.to_str().unwrap(), "--solver", "magic"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown solver"));
+    let out = sraa(&["eval", f.to_str().unwrap(), "--solver"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn eval_accepts_solver_flag_with_identical_summary() {
+    let f = tiny_file();
+    let path = f.to_str().unwrap();
+    let scc = sraa(&["eval", path, "--solver", "scc"]);
+    let wl = sraa(&["eval", path, "--solver", "worklist"]);
+    assert!(scc.status.success() && wl.status.success());
+    assert_eq!(stdout(&scc), stdout(&wl), "verdict tallies must not depend on the strategy");
+}
+
+#[test]
+fn repeated_lt_runs_are_byte_identical() {
+    let f = tiny_file();
+    let path = f.to_str().unwrap();
+    let first = sraa(&["lt", path, "main"]);
+    assert!(first.status.success());
+    for _ in 0..2 {
+        let again = sraa(&["lt", path, "main"]);
+        assert_eq!(stdout(&first), stdout(&again), "lt output must be deterministic");
+    }
 }
 
 #[test]

@@ -153,7 +153,7 @@ fn cross_function_relation_is_queryable() {
     }
     let x = m.function(g_id).param_value(0);
     assert!(
-        lt.analysis().less_than_cross(main_id, a.unwrap(), g_id, x),
+        lt.engine().less_than_cross(main_id, a.unwrap(), g_id, x),
         "caller's a flows into LT(g::x) through the pseudo-φ (a < a+1 = arg)"
     );
 }

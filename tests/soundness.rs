@@ -94,7 +94,7 @@ fn build_checks(
                     if !liveness.live_at_def(f, &positions, o, w) {
                         continue;
                     }
-                    if lt.analysis().less_than(fid, o, w) {
+                    if lt.engine().less_than(fid, o, w) {
                         at_def[w.index()].push((o, Check::StrictlyLess, "LT"));
                     }
                     let both_ptr = f.value_type(o).is_some_and(Type::is_ptr)

@@ -113,7 +113,7 @@ fn constraint_generation_is_linear() {
     for w in sraa_synth::test_suite(30) {
         let p = Prepared::new(&w);
         xs.push(p.stats.instructions as f64);
-        ys.push(p.lt.analysis().stats().constraints as f64);
+        ys.push(p.lt.engine().stats().constraints as f64);
     }
     let r2 = sraa_bench::r_squared(&xs, &ys);
     assert!(r2 > 0.9, "R² = {r2:.4} must indicate linearity");
@@ -129,10 +129,10 @@ fn solver_behaves_linearly_in_practice() {
     let mut total = 0usize;
     for w in sraa_synth::spec_all().into_iter().take(8) {
         let p = Prepared::new(&w);
-        let s = p.lt.analysis().stats();
+        let s = p.lt.engine().stats();
         pops += s.pops;
         constraints += s.constraints as u64;
-        for (sz, n) in p.lt.analysis().size_histogram() {
+        for (sz, n) in p.lt.engine().size_histogram() {
             total += n;
             if sz <= 2 {
                 small += n;
