@@ -65,7 +65,9 @@ impl AaEval {
             .functions()
             .map(|(fid, _)| {
                 let n = Self::pointer_values(module, fid).len() as u64;
-                n * (n - 1) / 2
+                // `n.saturating_sub(1)`: pointer-free functions (integer
+                // helpers) must contribute 0, not a debug-mode underflow.
+                n * n.saturating_sub(1) / 2
             })
             .sum()
     }

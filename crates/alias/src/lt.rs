@@ -37,9 +37,17 @@ impl StrictInequalityAa {
     }
 
     /// Runs the pipeline with a full engine configuration (constraint
-    /// options + solver strategy).
+    /// options + solver strategy + interprocedural mode).
     pub fn with_engine_config(module: &mut Module, cfg: EngineConfig) -> Self {
         Self::from_engine(DisambiguationEngine::build(module, cfg))
+    }
+
+    /// Runs the pipeline with bottom-up interprocedural summaries enabled
+    /// (the `--interproc` CLI mode): strict-inequality facts cross direct
+    /// call boundaries, so verdicts are a strict refinement of
+    /// [`StrictInequalityAa::new`]'s.
+    pub fn interprocedural(module: &mut Module) -> Self {
+        Self::with_engine_config(module, EngineConfig::default().with_summaries())
     }
 
     /// Wraps an already-built engine.

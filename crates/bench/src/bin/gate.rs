@@ -1,0 +1,238 @@
+//! The CI perf-regression gate.
+//!
+//! Compares a freshly generated `BENCH_scalability.json` (produced by the
+//! `scalability` binary) against the committed `BENCH_baseline.json` and
+//! exits non-zero when any tracked metric regresses by more than the
+//! tolerance (default 25%, override with `SRAA_GATE_TOLERANCE_PCT`).
+//!
+//! ```sh
+//! cargo run --release -p sraa-bench --bin scalability   # writes the fresh JSON
+//! cargo run --release -p sraa-bench --bin gate          # compares vs baseline
+//! ```
+//!
+//! Tracked metrics, by class:
+//!
+//! * **corpus identity** (exact) — workload counts and total constraints
+//!   must match the baseline. A mismatch means the benchmark corpus
+//!   itself changed; regenerate the baseline in the same PR (run
+//!   `scalability` with CI's `SRAA_SUITE_N` and copy
+//!   `BENCH_scalability.json` over `BENCH_baseline.json`).
+//! * **precision** (must not drop) — intra and summaries no-alias counts
+//!   over the call-heavy suite, and the summaries-over-intra gain must
+//!   stay strictly positive. These are deterministic, so any drop is a
+//!   real precision regression.
+//! * **work** (≤ baseline × tolerance) — constraint evaluations per
+//!   constraint for both solver strategies, and total summary solves.
+//!   Deterministic counters: immune to machine noise.
+//! * **time** (≤ baseline × time tolerance, calibration-normalised) —
+//!   wall-clock totals divided by the run's own `calibration_us` (the
+//!   solve time of one fixed reference system), so a fast laptop
+//!   baseline and a slow CI runner compare like for like. Time metrics
+//!   use a looser default bar (75%, `SRAA_GATE_TIME_TOLERANCE_PCT`):
+//!   normalisation cancels machine speed but not run-to-run noise on a
+//!   shared runner, and the deterministic counters already catch any
+//!   algorithmic regression tightly.
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = args.first().map(String::as_str).unwrap_or("BENCH_baseline.json");
+    let fresh_path = args.get(1).map(String::as_str).unwrap_or("BENCH_scalability.json");
+    let tolerance_pct: f64 =
+        std::env::var("SRAA_GATE_TOLERANCE_PCT").ok().and_then(|v| v.parse().ok()).unwrap_or(25.0);
+    // Wall-clock metrics get a looser bar: calibration normalisation
+    // absorbs machine *speed*, but not noise asymmetry between the tiny
+    // calibration probe and the long suite run on a contended CI runner.
+    // 75% still catches real (≥2x-ish) slowdowns without flaking; the
+    // deterministic counters above carry the tight 25% bar.
+    let time_tolerance_pct: f64 = std::env::var("SRAA_GATE_TIME_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(75.0);
+
+    let baseline = read_doc(baseline_path);
+    let fresh = read_doc(fresh_path);
+    let (binter, finter) = (baseline.section("interproc"), fresh.section("interproc"));
+    let mut gate = Gate { failures: 0, tolerance: 1.0 + tolerance_pct / 100.0 };
+
+    println!(
+        "perf gate: {fresh_path} vs {baseline_path} \
+         (tolerance +{tolerance_pct:.0}%, time +{time_tolerance_pct:.0}%)"
+    );
+    println!("{:<34} {:>12} {:>12} {:>8}  verdict", "metric", "baseline", "fresh", "ratio");
+
+    // Corpus identity: apples to apples, or tell the developer how to
+    // regenerate the baseline.
+    let mut corpus_ok = true;
+    corpus_ok &= gate.exact("workloads", baseline.num("workloads"), fresh.num("workloads"));
+    corpus_ok &=
+        gate.exact("interproc.workloads", binter.num("workloads"), finter.num("workloads"));
+    corpus_ok &= gate.exact(
+        "total_constraints",
+        baseline.num("total_constraints"),
+        fresh.num("total_constraints"),
+    );
+    if !corpus_ok {
+        eprintln!(
+            "\nthe benchmark corpus differs from the baseline's — if intentional, regenerate \
+             it in this PR:\n  SRAA_SUITE_N=<CI value> cargo run --release -p sraa-bench --bin \
+             scalability\n  cp BENCH_scalability.json BENCH_baseline.json"
+        );
+        exit(1);
+    }
+
+    // Precision: deterministic no-alias counts must not drop.
+    gate.at_least(
+        "interproc.intra_no_alias",
+        binter.num("intra_no_alias"),
+        finter.num("intra_no_alias"),
+    );
+    gate.at_least(
+        "interproc.summaries_no_alias",
+        binter.num("summaries_no_alias"),
+        finter.num("summaries_no_alias"),
+    );
+    if finter.num("summaries_no_alias") <= finter.num("intra_no_alias") {
+        println!(
+            "{:<34} summaries must beat intra on the call-heavy suite  FAIL",
+            "interproc gain"
+        );
+        gate.failures += 1;
+    }
+
+    // Work: deterministic counters, at most baseline × tolerance.
+    for (i, solver) in ["worklist", "scc"].iter().enumerate() {
+        gate.at_most(
+            &format!("{solver}.evals_per_constraint"),
+            baseline.occurrence("evals_per_constraint", i),
+            fresh.occurrence("evals_per_constraint", i),
+        );
+    }
+    gate.at_most("interproc.solves", binter.num("solves"), finter.num("solves"));
+
+    // Time: wall clock normalised by each run's own calibration solve,
+    // under the looser time tolerance.
+    gate.tolerance = 1.0 + time_tolerance_pct / 100.0;
+    let (bc, fc) = (baseline.num("calibration_us"), fresh.num("calibration_us"));
+    for (i, solver) in ["worklist", "scc"].iter().enumerate() {
+        gate.at_most(
+            &format!("{solver}.total_us/calibration"),
+            baseline.occurrence("total_us", i) / bc,
+            fresh.occurrence("total_us", i) / fc,
+        );
+    }
+    gate.at_most(
+        "interproc.summaries_build/calib",
+        binter.num("summaries_build_us") / bc,
+        finter.num("summaries_build_us") / fc,
+    );
+
+    if gate.failures > 0 {
+        eprintln!("\nperf gate FAILED: {} metric(s) regressed", gate.failures);
+        exit(1);
+    }
+    println!("\nperf gate passed");
+}
+
+struct Gate {
+    failures: u32,
+    tolerance: f64,
+}
+
+impl Gate {
+    fn row(&mut self, name: &str, b: f64, f: f64, ok: bool) -> bool {
+        let ratio = if b.abs() > 1e-12 { f / b } else { 1.0 };
+        println!(
+            "{name:<34} {b:>12.3} {f:>12.3} {ratio:>7.2}x  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            self.failures += 1;
+        }
+        ok
+    }
+
+    /// Deterministic value that must match the baseline exactly.
+    fn exact(&mut self, name: &str, b: f64, f: f64) -> bool {
+        self.row(name, b, f, (b - f).abs() < 1e-9)
+    }
+
+    /// Higher is better; must not drop below the baseline.
+    fn at_least(&mut self, name: &str, b: f64, f: f64) -> bool {
+        self.row(name, b, f, f >= b)
+    }
+
+    /// Lower is better; must stay within baseline × tolerance.
+    fn at_most(&mut self, name: &str, b: f64, f: f64) -> bool {
+        let ok = f <= b * self.tolerance;
+        self.row(name, b, f, ok)
+    }
+}
+
+/// A loaded JSON document plus the dumb-but-sufficient number extractor
+/// for the flat format `scalability` writes (offline workspace: no serde).
+struct Doc {
+    path: String,
+    text: String,
+}
+
+fn read_doc(path: &str) -> Doc {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Doc { path: path.to_string(), text },
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            eprintln!("run `cargo run --release -p sraa-bench --bin scalability` first");
+            exit(2);
+        }
+    }
+}
+
+impl Doc {
+    /// The `idx`-th occurrence of `"key": <number>` in document order.
+    /// Occurrence order is fixed by the writer: e.g. `total_us` appears
+    /// once per solver in `SolverKind::ALL` order.
+    fn occurrence(&self, key: &str, idx: usize) -> f64 {
+        let needle = format!("\"{key}\":");
+        let mut from = 0;
+        for n in 0.. {
+            let Some(at) = self.text[from..].find(&needle) else {
+                eprintln!("{}: missing occurrence {idx} of \"{key}\"", self.path);
+                exit(2);
+            };
+            let start = from + at + needle.len();
+            if n == idx {
+                let rest = self.text[start..].trim_start();
+                let end = rest
+                    .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                    .unwrap_or(rest.len());
+                return rest[..end].parse().unwrap_or_else(|_| {
+                    eprintln!("{}: \"{key}\" is not a number", self.path);
+                    exit(2);
+                });
+            }
+            from = start;
+        }
+        unreachable!()
+    }
+
+    /// The unique occurrence of `"key": <number>`.
+    fn num(&self, key: &str) -> f64 {
+        self.occurrence(key, 0)
+    }
+
+    /// A sub-document scoped to the flat object under `"name": {`, so
+    /// keys that also exist elsewhere (e.g. `workloads`) resolve to the
+    /// object's own fields rather than by document-wide occurrence
+    /// counting.
+    fn section(&self, name: &str) -> Doc {
+        let open = format!("\"{name}\": {{");
+        let Some(at) = self.text.find(&open) else {
+            eprintln!("{}: missing \"{name}\" object", self.path);
+            exit(2);
+        };
+        let body = &self.text[at + open.len()..];
+        let end = body.find('}').unwrap_or(body.len());
+        Doc { path: format!("{}#{name}", self.path), text: body[..end].to_string() }
+    }
+}

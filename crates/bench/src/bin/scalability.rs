@@ -6,14 +6,21 @@
 //! * the LT-set size distribution (paper: > 95% of sets have ≤ 2
 //!   elements);
 //! * worklist vs SCC wall-clock totals — the check that the engine's
-//!   default path ([`SolverKind::Scc`]) is no slower than the baseline.
+//!   default path ([`SolverKind::Scc`]) is no slower than the baseline;
+//! * the interprocedural summary layer over the call-heavy family —
+//!   precision gained (`Contextuality::Summaries` vs `Intra` no-alias
+//!   counts), summary facts/solves, and build-time overhead.
 //!
 //! Besides the human-readable table, the run emits machine-readable
 //! `BENCH_scalability.json` in the working directory so CI can track the
-//! performance trajectory across commits.
+//! performance trajectory across commits: the `gate` binary compares it
+//! against the committed `BENCH_baseline.json` and fails on regressions.
+//! The JSON includes `calibration_us` — the solve time of one fixed
+//! reference system — so the gate can compare times across machines of
+//! different speeds (tracked metric = time / calibration).
 
-use sraa_bench::{r_squared, suite_n};
-use sraa_core::SolverKind;
+use sraa_bench::{r_squared, suite_n, Prepared};
+use sraa_core::{EngineConfig, SolverKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -107,12 +114,112 @@ fn main() {
         println!("  {sz:>3}: {n}");
     }
 
-    let json = render_json(&ws.len(), total_constraints, &totals, small_pct, &size_hist);
+    let inter = interproc_stats();
+    println!();
+    println!("interprocedural summaries (call-heavy suite, {} workloads):", inter.workloads);
+    println!(
+        "  LT no-alias intra → summaries: {} → {}  ({:+})",
+        inter.intra_no_alias,
+        inter.summaries_no_alias,
+        inter.summaries_no_alias as i64 - inter.intra_no_alias as i64
+    );
+    println!(
+        "  {} summary fact(s), {} SCC(s) ({} recursive), {} solve(s)",
+        inter.facts, inter.sccs, inter.recursive_sccs, inter.solves
+    );
+    println!(
+        "  engine build intra {:.0}µs, summaries {:.0}µs ({:.2}x)",
+        inter.intra_build_us,
+        inter.summaries_build_us,
+        inter.summaries_build_us / inter.intra_build_us.max(1e-9)
+    );
+
+    let calibration_us = calibrate();
+    let json = render_json(
+        &ws.len(),
+        total_constraints,
+        &totals,
+        small_pct,
+        &size_hist,
+        &inter,
+        calibration_us,
+    );
     let path = "BENCH_scalability.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncannot write {path}: {e}"),
     }
+}
+
+/// Interprocedural metrics over the call-heavy family: the precision the
+/// summary layer adds (deterministic) and what it costs (wall clock).
+struct InterprocStats {
+    workloads: usize,
+    intra_no_alias: u64,
+    summaries_no_alias: u64,
+    facts: usize,
+    sccs: usize,
+    recursive_sccs: usize,
+    solves: u64,
+    intra_build_us: f64,
+    summaries_build_us: f64,
+}
+
+fn interproc_stats() -> InterprocStats {
+    let calls = sraa_synth::call_suite(suite_n().min(24));
+    let mut out = InterprocStats {
+        workloads: calls.len(),
+        intra_no_alias: 0,
+        summaries_no_alias: 0,
+        facts: 0,
+        sccs: 0,
+        recursive_sccs: 0,
+        solves: 0,
+        intra_build_us: 0.0,
+        summaries_build_us: 0.0,
+    };
+    for w in &calls {
+        let t0 = Instant::now();
+        let intra = Prepared::new(w);
+        out.intra_build_us += t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = Instant::now();
+        let inter = Prepared::with_engine_config(w, EngineConfig::default().with_summaries());
+        out.summaries_build_us += t0.elapsed().as_secs_f64() * 1e6;
+
+        out.intra_no_alias += intra.eval(&[&intra.lt])[0].no_alias;
+        out.summaries_no_alias += inter.eval(&[&inter.lt])[0].no_alias;
+        let sums = inter.lt.engine().summaries().expect("summaries mode");
+        out.facts += sums.facts();
+        out.sccs += sums.stats.sccs;
+        out.recursive_sccs += sums.stats.recursive_sccs;
+        out.solves += sums.stats.solves;
+    }
+    out
+}
+
+/// Solve time of one fixed reference system (best of five) — a proxy for
+/// machine speed that lets the gate normalise wall-clock metrics across
+/// hosts: `total_us / calibration_us` is comparable between a laptop
+/// baseline and a CI runner.
+fn calibrate() -> f64 {
+    let w = sraa_synth::csmith_generate(sraa_synth::CsmithConfig {
+        seed: 42,
+        max_ptr_depth: 3,
+        num_stmts: 400,
+        helpers: 0,
+    });
+    let mut m = sraa_minic::compile(&w.source).expect("calibration workload compiles");
+    let (ranges, _) = sraa_essa::transform_module(&mut m);
+    let sys = sraa_core::generate(&m, &ranges, Default::default());
+    let solver = SolverKind::Scc.solver();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let sol = solver.solve(&sys.constraints, sys.num_vars);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(sol);
+    }
+    best
 }
 
 /// Hand-rolled JSON — the workspace is offline and the numbers are flat.
@@ -122,10 +229,24 @@ fn render_json(
     totals: &[SolverTotals],
     small_pct: f64,
     size_hist: &std::collections::BTreeMap<usize, usize>,
+    inter: &InterprocStats,
+    calibration_us: f64,
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"workloads\": {workloads},");
     let _ = writeln!(s, "  \"total_constraints\": {total_constraints},");
+    let _ = writeln!(s, "  \"calibration_us\": {calibration_us:.1},");
+    s.push_str("  \"interproc\": {\n");
+    let _ = writeln!(s, "    \"workloads\": {},", inter.workloads);
+    let _ = writeln!(s, "    \"intra_no_alias\": {},", inter.intra_no_alias);
+    let _ = writeln!(s, "    \"summaries_no_alias\": {},", inter.summaries_no_alias);
+    let _ = writeln!(s, "    \"facts\": {},", inter.facts);
+    let _ = writeln!(s, "    \"sccs\": {},", inter.sccs);
+    let _ = writeln!(s, "    \"recursive_sccs\": {},", inter.recursive_sccs);
+    let _ = writeln!(s, "    \"solves\": {},", inter.solves);
+    let _ = writeln!(s, "    \"intra_build_us\": {:.1},", inter.intra_build_us);
+    let _ = writeln!(s, "    \"summaries_build_us\": {:.1}", inter.summaries_build_us);
+    s.push_str("  },\n");
     s.push_str("  \"solvers\": [\n");
     for (i, t) in totals.iter().enumerate() {
         let _ = writeln!(

@@ -32,6 +32,7 @@
 //! merges the per-function outputs in function order — the emitted
 //! constraint sequence is byte-identical to a serial run.
 
+use crate::summary::ModuleSummaries;
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{BinOp, CopyOrigin, FuncId, Function, InstKind, Module, Pred, Value};
 use sraa_range::RangeAnalysis;
@@ -172,7 +173,59 @@ pub fn generate_with_index(
     cfg: GenConfig,
     index: &VarIndex,
 ) -> ConstraintSystem {
-    generate_with_parallelism(module, ranges, cfg, index, true)
+    generate_with_parallelism(module, ranges, cfg, index, None, true)
+}
+
+/// [`generate_with_index`] with interprocedural summaries applied at call
+/// sites: a call result `r = g(a₁, …)` whose callee summary proves
+/// `param_j < ret` contributes `LT(r) ⊇ {a_j} ∪ LT(a_j)` instead of the
+/// intraprocedural `LT(r) = ∅`.
+pub fn generate_with_summaries(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+    summaries: &ModuleSummaries,
+) -> ConstraintSystem {
+    generate_with_parallelism(module, ranges, cfg, index, Some(summaries), true)
+}
+
+/// Constraints for a *subset* of functions only — the per-SCC systems the
+/// bottom-up summary computation solves. Formal parameters are grounded
+/// with `Init` (a summary fact must hold in every calling context, so
+/// params carry no caller facts here), and no pseudo-φ constraints are
+/// emitted. Output order: functions in `funcs` order, then the param
+/// `Init`s, all deterministic.
+pub(crate) fn generate_scoped(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+    funcs: &[FuncId],
+    summaries: &ModuleSummaries,
+) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for &fid in funcs {
+        let mut gen = FuncGen {
+            f: module.function(fid),
+            fid,
+            ranges,
+            cfg,
+            index,
+            summaries: Some(summaries),
+            out: std::mem::take(&mut out),
+            calls: Vec::new(),
+        };
+        gen.run();
+        out = gen.out;
+    }
+    for &fid in funcs {
+        let f = module.function(fid);
+        for i in 0..f.params.len() {
+            out.push(Constraint::Init { x: index.id(fid, f.param_value(i)) });
+        }
+    }
+    out
 }
 
 /// [`generate_with_index`] with the scoped-thread fan-out forced off —
@@ -185,7 +238,7 @@ pub(crate) fn generate_serial(
     cfg: GenConfig,
     index: &VarIndex,
 ) -> ConstraintSystem {
-    generate_with_parallelism(module, ranges, cfg, index, false)
+    generate_with_parallelism(module, ranges, cfg, index, None, false)
 }
 
 fn generate_with_parallelism(
@@ -193,10 +246,12 @@ fn generate_with_parallelism(
     ranges: &RangeAnalysis,
     cfg: GenConfig,
     index: &VarIndex,
+    summaries: Option<&ModuleSummaries>,
     allow_parallel: bool,
 ) -> ConstraintSystem {
     let num_funcs = module.num_functions();
-    let per_func = generate_per_function(module, ranges, cfg, index, num_funcs, allow_parallel);
+    let per_func =
+        generate_per_function(module, ranges, cfg, index, summaries, num_funcs, allow_parallel);
 
     // Merge in function order: the output is identical to a serial pass.
     let mut out = Vec::new();
@@ -250,6 +305,7 @@ fn generate_per_function(
     ranges: &RangeAnalysis,
     cfg: GenConfig,
     index: &VarIndex,
+    summaries: Option<&ModuleSummaries>,
     num_funcs: usize,
     allow_parallel: bool,
 ) -> Vec<(Vec<Constraint>, Vec<CallRecord>)> {
@@ -261,6 +317,7 @@ fn generate_per_function(
             ranges,
             cfg,
             index,
+            summaries,
             out: Vec::new(),
             calls: Vec::new(),
         };
@@ -296,6 +353,9 @@ struct FuncGen<'a> {
     ranges: &'a RangeAnalysis,
     cfg: GenConfig,
     index: &'a VarIndex,
+    /// Interprocedural summaries to apply at call sites; `None` runs the
+    /// paper's intraprocedural rules (calls are opaque).
+    summaries: Option<&'a ModuleSummaries>,
     out: Vec<Constraint>,
     calls: Vec<CallRecord>,
 }
@@ -371,7 +431,7 @@ impl FuncGen<'_> {
                     InstKind::Copy { src, origin } => self.copy(v, *src, *origin, b),
                     InstKind::Call { callee, args } => {
                         self.record_call(*callee, args);
-                        self.out.push(Constraint::Init { x: self.id(v) });
+                        self.call_result(v, *callee, args);
                     }
                     InstKind::Cmp { .. }
                     | InstKind::Alloca { .. }
@@ -388,6 +448,28 @@ impl FuncGen<'_> {
                 }
             }
         }
+    }
+
+    /// Constraint for a call *result*. Intraprocedurally a call is opaque
+    /// (`LT(r) = ∅`); with summaries, every callee-proven `param_j < ret`
+    /// fact materialises the actual argument: `LT(r) ⊇ {a_j} ∪ LT(a_j)`.
+    fn call_result(&mut self, v: Value, callee: FuncId, args: &[Value]) {
+        let x = self.id(v);
+        if let Some(sums) = self.summaries {
+            let ids: Vec<VarId> = sums
+                .of(callee)
+                .args_lt_ret()
+                .iter()
+                .filter_map(|&j| args.get(j as usize).copied())
+                .filter(|&a| !self.is_const(a))
+                .map(|a| self.id(a))
+                .collect();
+            if !ids.is_empty() {
+                self.out.push(Constraint::Union { x, elems: ids.clone(), sources: ids });
+                return;
+            }
+        }
+        self.out.push(Constraint::Init { x });
     }
 
     fn record_call(&mut self, callee: FuncId, args: &[Value]) {

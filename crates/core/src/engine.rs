@@ -24,6 +24,7 @@ use crate::analysis::{derived_pointer, strip_copies};
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::fast_solver::solve_fast;
 use crate::solver::{solve, Solution, SolveStats};
+use crate::summary::ModuleSummaries;
 use crate::var_index::VarIndex;
 use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
 use sraa_range::RangeAnalysis;
@@ -124,14 +125,73 @@ impl std::fmt::Display for SolverKind {
     }
 }
 
-/// Full engine configuration: constraint-generation options plus the
-/// fixpoint strategy.
+/// How much of the call graph the analysis sees.
+///
+/// * [`Contextuality::Intra`] — the paper's setting: every call result is
+///   opaque (`LT(r) = ∅`); facts never cross call boundaries (the
+///   pseudo-φs still flow caller facts *into* callees).
+/// * [`Contextuality::Summaries`] — bottom-up interprocedural summaries
+///   ([`ModuleSummaries`]): each function's context-free `param_j < ret`
+///   facts are distilled over the condensed call graph (fixpoint inside
+///   recursive components) and applied at every call site, so callers
+///   inherit `x < len`-style facts through helpers. Strictly more
+///   precise, never less (differentially tested); exposed as the
+///   `--interproc` CLI flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Contextuality {
+    /// Intraprocedural (paper-faithful): calls are opaque.
+    #[default]
+    Intra,
+    /// Interprocedural bottom-up summaries applied at call sites.
+    Summaries,
+}
+
+impl Contextuality {
+    /// Every mode, in presentation order.
+    pub const ALL: [Contextuality; 2] = [Contextuality::Intra, Contextuality::Summaries];
+
+    /// Parses a CLI-style name (`"intra"` / `"summaries"`).
+    pub fn parse(s: &str) -> Option<Contextuality> {
+        match s {
+            "intra" => Some(Contextuality::Intra),
+            "summaries" => Some(Contextuality::Summaries),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Contextuality::Intra => "intra",
+            Contextuality::Summaries => "summaries",
+        }
+    }
+}
+
+impl std::fmt::Display for Contextuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Full engine configuration: constraint-generation options, the fixpoint
+/// strategy, and the interprocedural mode.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineConfig {
     /// Constraint-generation options (paper fidelity knobs).
     pub gen: GenConfig,
     /// Fixpoint strategy (default: [`SolverKind::Scc`]).
     pub solver: SolverKind,
+    /// Interprocedural mode (default: [`Contextuality::Intra`]).
+    pub contextuality: Contextuality,
+}
+
+impl EngineConfig {
+    /// This configuration with interprocedural summaries switched on.
+    pub fn with_summaries(mut self) -> Self {
+        self.contextuality = Contextuality::Summaries;
+        self
+    }
 }
 
 impl From<GenConfig> for EngineConfig {
@@ -158,6 +218,9 @@ pub struct DisambiguationEngine {
     ranges: RangeAnalysis,
     cfg: GenConfig,
     solver: SolverKind,
+    /// Interprocedural summaries, when built with
+    /// [`Contextuality::Summaries`].
+    summaries: Option<ModuleSummaries>,
     /// Memoized pair verdicts, keyed by ordered raw id pairs and sharded
     /// by key so `Arc`-sharing consumers contend on 1/16th of a lock.
     cache: [Mutex<HashMap<(u32, u32), bool>>; CACHE_SHARDS],
@@ -178,6 +241,7 @@ impl Clone for DisambiguationEngine {
             ranges: self.ranges.clone(),
             cfg: self.cfg,
             solver: self.solver,
+            summaries: self.summaries.clone(),
             cache: std::array::from_fn(|i| {
                 Mutex::new(self.cache[i].lock().expect("cache poisoned").clone())
             }),
@@ -211,8 +275,22 @@ impl DisambiguationEngine {
     /// intermediate artifacts.
     pub fn on_prepared(module: &Module, ranges: &RangeAnalysis, cfg: EngineConfig) -> Self {
         let index = VarIndex::new(module);
-        let mut sys = constraints::generate_with_index(module, ranges, cfg.gen, &index);
         let solver = cfg.solver.solver();
+        // Interprocedural mode: distil per-function summaries bottom-up
+        // over the condensed call graph first, then let module-wide
+        // constraint generation apply them at every call site.
+        let summaries = match cfg.contextuality {
+            Contextuality::Intra => None,
+            Contextuality::Summaries => {
+                Some(ModuleSummaries::compute(module, ranges, cfg.gen, &index, solver))
+            }
+        };
+        let mut sys = match &summaries {
+            None => constraints::generate_with_index(module, ranges, cfg.gen, &index),
+            Some(sums) => {
+                constraints::generate_with_summaries(module, ranges, cfg.gen, &index, sums)
+            }
+        };
         let mut solution = solver.solve(&sys.constraints, sys.num_vars);
 
         // Parameter-pair refinement (see `GenConfig::param_pairs`): when
@@ -259,6 +337,7 @@ impl DisambiguationEngine {
             ranges: ranges.clone(),
             cfg: cfg.gen,
             solver: cfg.solver,
+            summaries,
             cache: fresh_cache(),
         }
     }
@@ -266,6 +345,21 @@ impl DisambiguationEngine {
     /// The strategy this engine solved with.
     pub fn solver_kind(&self) -> SolverKind {
         self.solver
+    }
+
+    /// The interprocedural mode this engine was built with.
+    pub fn contextuality(&self) -> Contextuality {
+        if self.summaries.is_some() {
+            Contextuality::Summaries
+        } else {
+            Contextuality::Intra
+        }
+    }
+
+    /// The interprocedural summaries, when built with
+    /// [`Contextuality::Summaries`].
+    pub fn summaries(&self) -> Option<&ModuleSummaries> {
+        self.summaries.as_ref()
     }
 
     /// The interned variable arena.
@@ -504,6 +598,61 @@ mod tests {
             assert!(scc.no_alias(f, fid, *p1, *p2));
         }
         assert_eq!(scc.cached_queries(), warmed);
+    }
+
+    #[test]
+    fn summaries_mode_refines_call_results() {
+        let src = r#"
+            int* advance(int* p, int k) { if (k > 0) { return p + k; } return p + 1; }
+            int f(int* p, int n) { int* q = advance(p, n); *q = 1; *p = 2; return *q; }
+            int main() { int a[8]; return f(a, 3); }
+        "#;
+        let mut m1 = sraa_minic::compile(src).unwrap();
+        let intra = DisambiguationEngine::build(&mut m1, EngineConfig::default());
+        let mut m2 = sraa_minic::compile(src).unwrap();
+        let inter = DisambiguationEngine::build(&mut m2, EngineConfig::default().with_summaries());
+        assert_eq!(m1, m2, "contextuality must not perturb the e-SSA pipeline");
+        assert_eq!(intra.contextuality(), Contextuality::Intra);
+        assert_eq!(inter.contextuality(), Contextuality::Summaries);
+        assert!(intra.summaries().is_none());
+        assert_eq!(inter.summaries().unwrap().facts(), 1, "advance: p < ret");
+
+        let fid = m1.function_by_name("f").unwrap();
+        let f = m1.function(fid);
+        let (p, q) = (f.param_value(0), {
+            // The call result is the unique Call instruction in `f`.
+            let mut q = None;
+            for b in f.block_ids() {
+                for (v, d) in f.block_insts(b) {
+                    if matches!(d.kind, InstKind::Call { .. }) {
+                        q = Some(v);
+                    }
+                }
+            }
+            q.unwrap()
+        });
+        assert!(!intra.no_alias(f, fid, p, q), "intra mode: the call is opaque");
+        assert!(inter.no_alias(f, fid, p, q), "summaries: p < advance(p, n)");
+        // Refinement: everything intra proves, summaries still proves.
+        for a in f.value_ids() {
+            for b in f.value_ids() {
+                if intra.no_alias(f, fid, a, b) {
+                    assert!(inter.no_alias(f, fid, a, b), "summaries lost {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contextuality_parses_cli_names() {
+        assert_eq!(Contextuality::parse("intra"), Some(Contextuality::Intra));
+        assert_eq!(Contextuality::parse("summaries"), Some(Contextuality::Summaries));
+        assert_eq!(Contextuality::parse("magic"), None);
+        assert_eq!(Contextuality::default(), Contextuality::Intra);
+        for c in Contextuality::ALL {
+            assert_eq!(Contextuality::parse(c.as_str()), Some(c));
+            assert_eq!(format!("{c}"), c.as_str());
+        }
     }
 
     #[test]

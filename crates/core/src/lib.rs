@@ -94,17 +94,20 @@ pub mod fast_solver;
 pub mod lt_set;
 pub mod ondemand;
 pub mod solver;
+pub mod summary;
 #[cfg(test)]
 pub(crate) mod test_systems;
 pub mod var_index;
 
 pub use analysis::{derived_pointer, strip_copies, StrictInequalityAnalysis};
-pub use constraints::{generate, Constraint, ConstraintSystem, GenConfig};
+pub use constraints::{generate, generate_with_summaries, Constraint, ConstraintSystem, GenConfig};
 pub use engine::{
-    DisambiguationEngine, EngineConfig, FixpointSolver, SccSolver, SolverKind, WorklistSolver,
+    Contextuality, DisambiguationEngine, EngineConfig, FixpointSolver, SccSolver, SolverKind,
+    WorklistSolver,
 };
 pub use fast_solver::solve_fast;
 pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;
 pub use solver::{solve, Solution, SolveStats};
+pub use summary::{FunctionSummary, ModuleSummaries, SummaryStats};
 pub use var_index::{VarId, VarIndex};

@@ -590,6 +590,7 @@ mod ssi_tests {
                 seed: seed + 42,
                 max_ptr_depth: 3,
                 num_stmts: 50,
+                helpers: 0,
             });
             let mut m = sraa_minic::compile(&w.source).unwrap();
             transform_module(&mut m);

@@ -1,0 +1,310 @@
+//! The (direct) call graph and its SCC condensation.
+//!
+//! Our IR only has direct calls ([`InstKind::Call`] names a [`FuncId`]),
+//! so the call graph is exact: node = function, edge = "some instruction
+//! of `f` calls `g`". The interprocedural summary layer of `sraa-core`
+//! consumes the [`Condensation`]: summaries are propagated *bottom-up*
+//! (callees before callers), with a fixpoint iteration inside every
+//! recursive component. Indirect calls, when they arrive, will widen this
+//! into a may-call graph — see ROADMAP.
+//!
+//! Everything here is deterministic: edges are recorded in instruction
+//! order and deduplicated keeping first occurrence order sorted by id, and
+//! the condensation uses iterative Tarjan, whose output order (a reverse
+//! topological order of the component DAG — exactly callees-first) depends
+//! only on the module.
+
+use crate::ids::FuncId;
+use crate::inst::InstKind;
+use crate::module::Module;
+
+/// The direct call graph of a [`Module`].
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// `callees[f]` — sorted, deduplicated callees of `f`.
+    callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` — sorted, deduplicated callers of `f`.
+    callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph by one scan over every function body.
+    pub fn build(module: &Module) -> Self {
+        let n = module.num_functions();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (fid, f) in module.functions() {
+            for b in f.block_ids() {
+                for (_, data) in f.block_insts(b) {
+                    if let InstKind::Call { callee, .. } = &data.kind {
+                        callees[fid.index()].push(*callee);
+                    }
+                }
+            }
+        }
+        for (f, cs) in callees.iter_mut().enumerate() {
+            cs.sort_unstable();
+            cs.dedup();
+            for &g in cs.iter() {
+                callers[g.index()].push(FuncId::from_index(f));
+            }
+        }
+        // `callers` is filled in ascending caller order already.
+        Self { callees, callers }
+    }
+
+    /// Number of functions (nodes).
+    pub fn num_functions(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// The functions `f` calls directly, ascending, deduplicated.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// The functions that call `f` directly, ascending, deduplicated.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// Total number of call edges (after deduplication).
+    pub fn num_edges(&self) -> usize {
+        self.callees.iter().map(Vec::len).sum()
+    }
+
+    /// Condenses the graph into its strongly connected components with
+    /// iterative Tarjan. Components are emitted callees-first (reverse
+    /// topological order of the component DAG), which is exactly the
+    /// bottom-up order summary propagation wants.
+    pub fn condense(&self) -> Condensation {
+        let n = self.num_functions();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+        let mut comp_of = vec![0u32; n];
+
+        // Iterative DFS: (node, next-callee-cursor).
+        let mut dfs: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            dfs.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+                let vi = v as usize;
+                if let Some(&w) = self.callees[vi].get(*cursor) {
+                    *cursor += 1;
+                    let wi = w.index();
+                    if index[wi] == UNVISITED {
+                        index[wi] = next_index;
+                        lowlink[wi] = next_index;
+                        next_index += 1;
+                        stack.push(wi as u32);
+                        on_stack[wi] = true;
+                        dfs.push((wi as u32, 0));
+                    } else if on_stack[wi] {
+                        lowlink[vi] = lowlink[vi].min(index[wi]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(&(parent, _)) = dfs.last() {
+                        let pi = parent as usize;
+                        lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                    }
+                    if lowlink[vi] == index[vi] {
+                        // v is an SCC root: pop its component.
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = sccs.len() as u32;
+                            comp.push(FuncId::from_index(w as usize));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+
+        let recursive = sccs
+            .iter()
+            .map(|comp| {
+                comp.len() > 1 || comp.iter().any(|&f| self.callees(f).binary_search(&f).is_ok())
+            })
+            .collect();
+        Condensation { sccs, comp_of, recursive }
+    }
+}
+
+/// The SCC condensation of a [`CallGraph`], in bottom-up order.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Components in callees-first order; members ascending by [`FuncId`].
+    sccs: Vec<Vec<FuncId>>,
+    /// `comp_of[f]` — index into `sccs` of `f`'s component.
+    comp_of: Vec<u32>,
+    /// Whether the component contains a cycle (multi-member, or a
+    /// self-calling function).
+    recursive: Vec<bool>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.sccs.len()
+    }
+
+    /// Whether the module had no functions at all.
+    pub fn is_empty(&self) -> bool {
+        self.sccs.is_empty()
+    }
+
+    /// Component `i`'s members, ascending by id.
+    pub fn members(&self, i: usize) -> &[FuncId] {
+        &self.sccs[i]
+    }
+
+    /// The component index of function `f`.
+    pub fn component_of(&self, f: FuncId) -> usize {
+        self.comp_of[f.index()] as usize
+    }
+
+    /// Whether component `i` contains a call cycle.
+    pub fn is_recursive(&self, i: usize) -> bool {
+        self.recursive[i]
+    }
+
+    /// Number of recursive components.
+    pub fn num_recursive(&self) -> usize {
+        self.recursive.iter().filter(|&&r| r).count()
+    }
+
+    /// Components in bottom-up (callees-before-callers) order.
+    pub fn bottom_up(&self) -> impl Iterator<Item = (usize, &[FuncId])> {
+        self.sccs.iter().enumerate().map(|(i, c)| (i, c.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::types::Type;
+
+    /// Builds a module whose call structure is given by `edges` over
+    /// `n` trivial functions.
+    fn call_module(n: usize, edges: &[(usize, usize)]) -> Module {
+        let mut m = Module::new();
+        for i in 0..n {
+            m.declare_function(format!("f{i}"), vec![], Some(Type::Int));
+        }
+        for i in 0..n {
+            let fid = FuncId::from_index(i);
+            let callees: Vec<usize> =
+                edges.iter().filter(|(a, _)| *a == i).map(|(_, b)| *b).collect();
+            let f: &mut Function = m.function_mut(fid);
+            let entry = f.entry();
+            for c in callees {
+                f.append_inst(
+                    entry,
+                    InstKind::Call { callee: FuncId::from_index(c), args: vec![] },
+                    Some(Type::Int),
+                );
+            }
+            let zero = f.add_const(0);
+            f.append_inst(entry, InstKind::Ret(Some(zero)), None);
+        }
+        m
+    }
+
+    #[test]
+    fn edges_are_deduplicated_and_sorted() {
+        let m = call_module(3, &[(0, 2), (0, 1), (0, 2), (1, 2)]);
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(FuncId::from_index(0)).len(), 2);
+        assert_eq!(cg.callers(FuncId::from_index(2)).len(), 2);
+        assert_eq!(cg.num_edges(), 3);
+        assert_eq!(cg.num_functions(), 3);
+    }
+
+    #[test]
+    fn chain_condenses_bottom_up() {
+        // 0 -> 1 -> 2: bottom-up order must visit 2 before 1 before 0.
+        let m = call_module(3, &[(0, 1), (1, 2)]);
+        let cond = CallGraph::build(&m).condense();
+        assert_eq!(cond.len(), 3);
+        assert!(!cond.is_empty());
+        let order: Vec<usize> = cond.bottom_up().map(|(_, c)| c[0].index()).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+        assert_eq!(cond.num_recursive(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_recursive() {
+        let m = call_module(2, &[(0, 0), (0, 1)]);
+        let cond = CallGraph::build(&m).condense();
+        let c0 = cond.component_of(FuncId::from_index(0));
+        assert!(cond.is_recursive(c0));
+        let c1 = cond.component_of(FuncId::from_index(1));
+        assert!(!cond.is_recursive(c1));
+        // Leaf first.
+        assert!(c1 < c0);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        // 0 <-> 1, both call 2.
+        let m = call_module(3, &[(0, 1), (1, 0), (0, 2), (1, 2)]);
+        let cond = CallGraph::build(&m).condense();
+        assert_eq!(cond.len(), 2);
+        let c = cond.component_of(FuncId::from_index(0));
+        assert_eq!(c, cond.component_of(FuncId::from_index(1)));
+        assert!(cond.is_recursive(c));
+        assert_eq!(cond.members(c).len(), 2);
+        // The shared leaf comes first in bottom-up order.
+        assert_eq!(cond.component_of(FuncId::from_index(2)), 0);
+    }
+
+    #[test]
+    fn callees_always_precede_callers() {
+        // A small DAG with a diamond and a cycle: 0->1, 0->2, 1->3, 2->3,
+        // 3->4, 4->3 (cycle {3,4}).
+        let m = call_module(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 3)]);
+        let cg = CallGraph::build(&m);
+        let cond = cg.condense();
+        for (fi, f) in (0..5).map(|i| (i, FuncId::from_index(i))) {
+            for &g in cg.callees(f) {
+                if cond.component_of(f) != cond.component_of(g) {
+                    assert!(
+                        cond.component_of(g) < cond.component_of(f),
+                        "callee f{} must come before caller f{fi}",
+                        g.index()
+                    );
+                }
+            }
+        }
+        assert_eq!(cond.num_recursive(), 1);
+    }
+
+    #[test]
+    fn empty_module_condenses_to_nothing() {
+        let cond = CallGraph::build(&Module::new()).condense();
+        assert!(cond.is_empty());
+        assert_eq!(cond.len(), 0);
+    }
+}

@@ -13,6 +13,9 @@
 //! tools every pass in the pipeline needs:
 //!
 //! * [`mod@cfg`] — control-flow graph, reverse post-order;
+//! * [`callgraph`] — the direct call graph and its SCC condensation in
+//!   bottom-up (callees-first) order, the substrate of the
+//!   interprocedural summary layer;
 //! * [`dom`] — dominator tree (Cooper–Harvey–Kennedy) and dominance queries;
 //! * [`liveness`] — SSA live-in/live-out sets;
 //! * [`defuse`] — def-use chains;
@@ -63,6 +66,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod callgraph;
 pub mod cfg;
 pub mod defuse;
 pub mod dom;
@@ -82,6 +86,7 @@ pub mod verifier;
 
 pub use bitset::DenseBitSet;
 pub use builder::FunctionBuilder;
+pub use callgraph::{CallGraph, Condensation};
 pub use cfg::Cfg;
 pub use defuse::DefUse;
 pub use dom::{DomTree, PostDomTree};

@@ -30,11 +30,17 @@ pub struct CsmithConfig {
     pub max_ptr_depth: u8,
     /// Rough number of statements in `work`.
     pub num_stmts: usize,
+    /// Helper functions to emit and call (`0` reproduces the paper's
+    /// single-function lot byte for byte). With `h > 0`, the program
+    /// gains `h` each of: an increment helper, a pointer-step helper and
+    /// a recursive adder, plus random call sites in `work` — the corpus
+    /// the interprocedural differential tests run on.
+    pub helpers: usize,
 }
 
 impl Default for CsmithConfig {
     fn default() -> Self {
-        Self { seed: 1, max_ptr_depth: 2, num_stmts: 40 }
+        Self { seed: 1, max_ptr_depth: 2, num_stmts: 40, helpers: 0 }
     }
 }
 
@@ -74,6 +80,9 @@ struct Gen {
     /// Allocation sites created so far (the paper's Csmith lot averages
     /// six static sites per program; we cap at a similar scale).
     sites: usize,
+    /// Helper-function count ([`CsmithConfig::helpers`]); `0` keeps the
+    /// statement mix byte-identical to the single-function generator.
+    helpers: usize,
 }
 
 impl Gen {
@@ -307,7 +316,11 @@ impl Gen {
             return;
         }
         *budget -= 1;
-        let choice = self.rng.gen_range(0..21);
+        // Choices 21..24 are helper-call statements; they only exist when
+        // helpers were requested, so `helpers == 0` draws from the same
+        // range as the single-function generator (byte-identical output).
+        let hi = if self.helpers > 0 { 24 } else { 21 };
+        let choice = self.rng.gen_range(0..hi);
         match choice {
             0 => {
                 let name = self.fresh("s");
@@ -423,6 +436,45 @@ impl Gen {
                 self.indent -= 1;
                 self.line("}");
             }
+            21 => {
+                // Call an increment helper on an integer expression.
+                let h = self.rng.gen_range(0..self.helpers);
+                let name = self.fresh("s");
+                let e = self.int_expr(1);
+                self.line(&format!("int {name} = csh_next{h}({e});"));
+                self.scalars.push(name);
+            }
+            22 => {
+                // Step a depth-1 pointer through the helper; the result
+                // has one element less slack, so only pointers with room
+                // beyond the invariant qualify.
+                let h = self.rng.gen_range(0..self.helpers);
+                let cands: Vec<usize> = (0..self.ptrs.len())
+                    .filter(|&i| self.ptrs[i].depth == 1 && self.ptrs[i].slack > SLACK)
+                    .collect();
+                if !cands.is_empty() {
+                    let p = self.ptrs[cands[self.rng.gen_range(0..cands.len())]].clone();
+                    let name = self.fresh("p");
+                    self.line(&format!("int* {name} = csh_step{h}({});", p.name));
+                    self.ptrs.push(PtrVar {
+                        name,
+                        depth: 1,
+                        initialized: true,
+                        slack: p.slack - 1,
+                        heap: p.heap,
+                    });
+                }
+            }
+            23 => {
+                // Call a recursive adder with a small constant bound (the
+                // recursion terminates after at most 4 steps).
+                let h = self.rng.gen_range(0..self.helpers);
+                let name = self.fresh("s");
+                let e = self.int_expr(1);
+                let n = self.rng.gen_range(1..=4);
+                self.line(&format!("int {name} = csh_add{h}({e}, {n});"));
+                self.scalars.push(name);
+            }
             _ => {
                 // Read through a pointer into a fresh scalar.
                 if let Some(p) = self.ptr_of_depth(1) {
@@ -451,6 +503,7 @@ pub fn generate(cfg: CsmithConfig) -> Workload {
         next_id: 0,
         loop_depth: 0,
         sites: 0,
+        helpers: cfg.helpers,
     };
 
     // Around six static allocation sites on average, like the paper's lot.
@@ -462,6 +515,17 @@ pub fn generate(cfg: CsmithConfig) -> Workload {
         g.globals.push(name);
     }
     g.out.push('\n');
+
+    for h in 0..cfg.helpers {
+        let _ = writeln!(g.out, "int csh_next{h}(int i) {{ return i + {}; }}", h + 1);
+        let _ = writeln!(g.out, "int* csh_step{h}(int* p) {{ return p + 1; }}");
+        let _ = writeln!(
+            g.out,
+            "int csh_add{h}(int i, int n) {{ \
+             if (n <= 0) {{ return i + 1; }} return csh_add{h}(i + 1, n - 1); }}"
+        );
+        g.out.push('\n');
+    }
 
     g.line("void work() {");
     g.indent = 1;
@@ -491,10 +555,12 @@ pub fn generate(cfg: CsmithConfig) -> Workload {
     g.indent = 0;
     g.line("}");
 
-    Workload {
-        name: format!("csmith_d{}_s{}", cfg.max_ptr_depth, cfg.seed),
-        source: std::mem::take(&mut g.out),
-    }
+    let name = if cfg.helpers > 0 {
+        format!("csmith_d{}_s{}_h{}", cfg.max_ptr_depth, cfg.seed, cfg.helpers)
+    } else {
+        format!("csmith_d{}_s{}", cfg.max_ptr_depth, cfg.seed)
+    };
+    Workload { name, source: std::mem::take(&mut g.out) }
 }
 
 #[cfg(test)]
@@ -514,7 +580,12 @@ mod tests {
     fn all_depths_compile_and_run() {
         for depth in 2..=7u8 {
             for seed in 0..5u64 {
-                let w = generate(CsmithConfig { seed, max_ptr_depth: depth, num_stmts: 30 });
+                let w = generate(CsmithConfig {
+                    seed,
+                    max_ptr_depth: depth,
+                    num_stmts: 30,
+                    helpers: 0,
+                });
                 let m = sraa_minic::compile(&w.source)
                     .unwrap_or_else(|e| panic!("{}: {e}\n{}", w.name, w.source));
                 let mut interp = sraa_ir::Interpreter::new(&m).with_step_limit(2_000_000);
@@ -529,16 +600,42 @@ mod tests {
     fn deep_programs_mention_deep_pointers() {
         let mut seen = false;
         for seed in 0..20 {
-            let w = generate(CsmithConfig { seed, max_ptr_depth: 4, num_stmts: 60 });
+            let w = generate(CsmithConfig { seed, max_ptr_depth: 4, num_stmts: 60, helpers: 0 });
             seen |= w.source.contains("int****");
         }
         assert!(seen, "depth-4 chains should appear in at least one of 20 programs");
     }
 
     #[test]
+    fn helper_mode_emits_calls_and_stays_trap_free() {
+        let mut saw_call = false;
+        for seed in 0..10u64 {
+            let w = generate(CsmithConfig { seed, max_ptr_depth: 2, num_stmts: 40, helpers: 2 });
+            assert!(w.name.ends_with("_h2"));
+            saw_call |= w.source.contains("csh_next") || w.source.contains("csh_step");
+            let m = sraa_minic::compile(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", w.name, w.source));
+            let mut interp = sraa_ir::Interpreter::new(&m).with_step_limit(2_000_000);
+            interp
+                .run("main", &[])
+                .unwrap_or_else(|e| panic!("{} must not trap: {e:?}\n{}", w.name, w.source));
+        }
+        assert!(saw_call, "helper mode should emit call sites");
+    }
+
+    #[test]
+    fn helpers_zero_reproduces_the_single_function_lot() {
+        let plain = generate(CsmithConfig { seed: 11, ..Default::default() });
+        let zero = generate(CsmithConfig { seed: 11, helpers: 0, ..Default::default() });
+        assert_eq!(plain.source, zero.source);
+        assert!(!plain.source.contains("csh_"));
+    }
+
+    #[test]
     fn size_scales_with_num_stmts() {
-        let small = generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 10 });
-        let large = generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 200 });
+        let small = generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 10, helpers: 0 });
+        let large =
+            generate(CsmithConfig { seed: 3, max_ptr_depth: 2, num_stmts: 200, helpers: 0 });
         assert!(large.source.len() > small.source.len() * 2);
     }
 }

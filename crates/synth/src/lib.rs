@@ -11,10 +11,16 @@
 //!   Figure 11 scalability study;
 //! * [`csmith`] — single-function random programs with pointer nesting
 //!   depths 2–7 for Figure 12, guaranteed trap-free so the dynamic
-//!   soundness property tests can execute them.
+//!   soundness property tests can execute them (an optional
+//!   [`CsmithConfig::helpers`] knob adds helper functions and call
+//!   sites, for the interprocedural differential tests);
+//! * [`calls`] — the call-heavy family (helper bounds checks, chained
+//!   helpers, recursive partitions) that measures the interprocedural
+//!   summary layer (`sraa eval --interproc`), beyond the paper.
 //!
 //! Everything is deterministic: same seed, same program.
 
+pub mod calls;
 pub mod csmith;
 pub mod optk;
 pub mod spec;
@@ -29,6 +35,7 @@ pub struct Workload {
     pub source: String,
 }
 
+pub use calls::call_suite;
 pub use csmith::{generate as csmith_generate, CsmithConfig};
 pub use optk::{all as optk_all, generate as optk_generate};
 pub use spec::{

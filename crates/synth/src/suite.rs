@@ -86,6 +86,7 @@ pub fn csmith_figure12() -> Vec<Workload> {
                 seed: depth as u64 * 1000 + k,
                 max_ptr_depth: depth,
                 num_stmts: 60 + (k as usize) * 14, // ~80 to ~4000 source lines
+                helpers: 0,
             }));
         }
     }

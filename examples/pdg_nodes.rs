@@ -19,6 +19,7 @@ fn main() {
         seed,
         max_ptr_depth: depth,
         num_stmts: 80,
+        helpers: 0,
     });
     println!("generated {} ({} bytes of MiniC)\n", w.name, w.source.len());
 

@@ -14,14 +14,20 @@
 //! The analysis-driven subcommands (`eval`, `lt`, `pdg`, `opt`) accept
 //! `--solver {worklist,scc}` (default `scc`) to pick the engine's fixpoint
 //! strategy; both produce identical answers, so the flag is a performance
-//! knob and a differential-testing hook.
+//! knob and a differential-testing hook. They also accept `--interproc`,
+//! which switches the engine to bottom-up interprocedural summaries
+//! ([`Contextuality::Summaries`]) so strict-inequality facts cross call
+//! boundaries — strictly more `no-alias` verdicts, never fewer.
+//!
+//! Unrecognised `--flags` are rejected with exit code 2 (they used to be
+//! silently ignored, which hid typos like `--interporc`).
 
 use sraa::alias::{
     AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, Combined, PentagonAa,
     SteensgaardAnalysis, StrictInequalityAa,
 };
 use sraa::ir::{InstKind, Interpreter, ModuleStats};
-use sraa::lt::{EngineConfig, SolverKind};
+use sraa::lt::{Contextuality, EngineConfig, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -47,7 +53,9 @@ fn main() {
                  \n  gen     <seed> <depth>      random MiniC program\
                  \n\
                  \n  --solver {{worklist,scc}}     fixpoint strategy for\
-                 \n                              eval/lt/pdg/opt (default scc)"
+                 \n                              eval/lt/pdg/opt (default scc)\
+                 \n  --interproc                 bottom-up call summaries for\
+                 \n                              eval/lt/pdg/opt (default intra)"
             );
             2
         }
@@ -55,28 +63,67 @@ fn main() {
     exit(code);
 }
 
-/// Extracts `--solver <kind>` from `args`, returning the remaining
-/// arguments and the chosen strategy (default [`SolverKind::Scc`]).
-fn take_solver(args: &[String]) -> Result<(Vec<String>, SolverKind), i32> {
+/// Extracts `--solver <kind>` and `--interproc` from `args`, returning
+/// the remaining arguments and the chosen [`EngineConfig`] knobs
+/// (defaults: [`SolverKind::Scc`], [`Contextuality::Intra`]).
+fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32> {
+    let mut cfg = EngineConfig::default();
+    let (rest, solver) = take_value_flag(args, "--solver")?;
+    if let Some(value) = solver {
+        let Some(k) = SolverKind::parse(&value) else {
+            eprintln!("unknown solver `{value}` (expected worklist or scc)");
+            return Err(2);
+        };
+        cfg.solver = k;
+    }
+    let (rest, interproc) = take_flag(&rest, "--interproc");
+    if interproc {
+        cfg.contextuality = Contextuality::Summaries;
+    }
+    Ok((rest, cfg))
+}
+
+/// Extracts a value-taking `flag <value>` pair from `args`, returning
+/// the remaining arguments and the raw value if the flag was present.
+/// A trailing flag with no value is a usage error (exit code 2).
+fn take_value_flag(args: &[String], flag: &str) -> Result<(Vec<String>, Option<String>), i32> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut kind = SolverKind::default();
+    let mut value = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--solver" {
-            let Some(value) = it.next() else {
-                eprintln!("--solver needs a value: worklist or scc");
+        if a == flag {
+            let Some(v) = it.next() else {
+                eprintln!("{flag} needs a value");
                 return Err(2);
             };
-            let Some(k) = SolverKind::parse(value) else {
-                eprintln!("unknown solver `{value}` (expected worklist or scc)");
-                return Err(2);
-            };
-            kind = k;
+            value = Some(v.clone());
         } else {
             rest.push(a.clone());
         }
     }
-    Ok((rest, kind))
+    Ok((rest, value))
+}
+
+/// Extracts a boolean `flag` from `args`, returning the remaining
+/// arguments and whether it was present.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != flag).cloned().collect();
+    let found = rest.len() != args.len();
+    (rest, found)
+}
+
+/// Rejects any remaining `--flag` argument: after the known flags have
+/// been extracted, whatever still looks like a flag is a typo or an
+/// unsupported option — exit code 2 with a usage hint, never a silent
+/// no-op.
+fn reject_unknown_flags(args: &[String], usage: &str) -> Result<(), i32> {
+    for a in args {
+        if a.starts_with("--") {
+            eprintln!("unknown flag `{a}`\nusage: {usage}");
+            return Err(2);
+        }
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<sraa::ir::Module, i32> {
@@ -91,12 +138,17 @@ fn load(path: &str) -> Result<sraa::ir::Module, i32> {
 }
 
 fn cmd_compile(args: &[String]) -> i32 {
+    const USAGE: &str = "sraa compile <file.c> [--essa]";
+    let (args, essa) = take_flag(args, "--essa");
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa compile <file.c> [--essa]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    if args.iter().any(|a| a == "--essa") {
+    if essa {
         let (_, stats) = sraa::essa::transform_module(&mut m);
         eprintln!(
             "# e-SSA: {} sigma copies, {} subtraction splits, {} edges split",
@@ -108,16 +160,17 @@ fn cmd_compile(args: &[String]) -> i32 {
 }
 
 fn cmd_eval(args: &[String]) -> i32 {
-    let Ok((args, solver)) = take_solver(args) else { return 2 };
+    const USAGE: &str = "sraa eval <file.c> [--solver worklist|scc] [--interproc]";
+    let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa eval <file.c> [--solver worklist|scc]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::with_engine_config(
-        &mut m,
-        EngineConfig { solver, ..Default::default() },
-    );
+    let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     let ba = BasicAliasAnalysis::new(&m);
     let cf = AndersenAnalysis::new(&m);
     let st = SteensgaardAnalysis::new(&m);
@@ -146,16 +199,17 @@ fn cmd_eval(args: &[String]) -> i32 {
 }
 
 fn cmd_lt(args: &[String]) -> i32 {
-    let Ok((args, solver)) = take_solver(args) else { return 2 };
+    const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] [--interproc]";
+    let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
     let (Some(path), Some(fname)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: sraa lt <file.c> <function> [--solver worklist|scc]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::with_engine_config(
-        &mut m,
-        EngineConfig { solver, ..Default::default() },
-    );
+    let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     let Some(fid) = m.function_by_name(fname) else {
         eprintln!("no function `{fname}`");
         return 1;
@@ -192,12 +246,25 @@ fn cmd_lt(args: &[String]) -> i32 {
         s.pops_per_constraint(),
         lt.engine().solver_kind()
     );
+    if let Some(sums) = lt.engine().summaries() {
+        println!(
+            "interproc: {} summary fact(s) over {} SCC(s) ({} recursive, {} solves)",
+            sums.facts(),
+            sums.stats.sccs,
+            sums.stats.recursive_sccs,
+            sums.stats.solves
+        );
+    }
     0
 }
 
 fn cmd_run(args: &[String]) -> i32 {
+    const USAGE: &str = "sraa run <file.c> [ints...]";
+    if let Err(code) = reject_unknown_flags(args, USAGE) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa run <file.c> [ints...]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(m) = load(path) else { return 1 };
@@ -215,19 +282,18 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_pdg(args: &[String]) -> i32 {
-    let Ok((args, solver)) = take_solver(args) else { return 2 };
+    const USAGE: &str = "sraa pdg <file.c> [--solver worklist|scc] [--interproc]";
+    let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa pdg <file.c> [--solver worklist|scc]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::with_engine_config(
-        &mut m,
-        EngineConfig {
-            gen: sraa::lt::GenConfig { range_offsets: true, ..Default::default() },
-            solver,
-        },
-    );
+    cfg.gen.range_offsets = true; // the Figure 12 experiment's setting
+    let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     let ba = BasicAliasAnalysis::new(&m);
     let both = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
     let g_ba = DepGraph::build(&m, &ba);
@@ -241,17 +307,19 @@ fn cmd_pdg(args: &[String]) -> i32 {
 }
 
 fn cmd_opt(args: &[String]) -> i32 {
-    let Ok((args, solver)) = take_solver(args) else { return 2 };
+    const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] [--interproc]";
+    let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
+    let (args, ba_only) = take_flag(&args, "--ba");
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: sraa opt <file.c> [--ba] [--solver worklist|scc]");
+        eprintln!("usage: {USAGE}");
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
-    let lt = StrictInequalityAa::with_engine_config(
-        &mut m,
-        EngineConfig { solver, ..Default::default() },
-    );
-    let aa: Box<dyn AliasAnalysis> = if args.iter().any(|a| a == "--ba") {
+    let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
+    let aa: Box<dyn AliasAnalysis> = if ba_only {
         Box::new(BasicAliasAnalysis::new(&m))
     } else {
         Box::new(Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]))
@@ -275,12 +343,26 @@ fn cmd_opt(args: &[String]) -> i32 {
 }
 
 fn cmd_gen(args: &[String]) -> i32 {
-    let seed: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
-    let depth: u8 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    const USAGE: &str = "sraa gen <seed> <depth> [--helpers <n>]";
+    let Ok((rest, helpers)) = take_value_flag(args, "--helpers") else { return 2 };
+    let helpers: usize = match helpers.as_deref().map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--helpers needs a count\nusage: {USAGE}");
+            return 2;
+        }
+    };
+    if let Err(code) = reject_unknown_flags(&rest, USAGE) {
+        return code;
+    }
+    let seed: u64 = rest.first().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let depth: u8 = rest.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
     let w = sraa::synth::csmith_generate(sraa::synth::CsmithConfig {
         seed,
         max_ptr_depth: depth,
         num_stmts: 80,
+        helpers,
     });
     print!("{}", w.source);
     0

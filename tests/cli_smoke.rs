@@ -159,6 +159,115 @@ fn repeated_lt_runs_are_byte_identical() {
     }
 }
 
+const CALLS: &str = r#"
+int* advance(int* p, int k) {
+  if (k > 0) { return p + k; }
+  return p + 1;
+}
+int use_helper(int* v, int n) {
+  int acc = 0;
+  for (int i = 1; i + 4 < n; i++) {
+    int* q = advance(v, i);
+    *q = i;
+    *v = acc;
+    acc += *q;
+  }
+  return acc;
+}
+int main() {
+  int a[16];
+  for (int i = 0; i < 16; i++) a[i] = i;
+  return use_helper(a, 12);
+}
+"#;
+
+fn calls_file() -> PathBuf {
+    static CALLS_PATH: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    CALLS_PATH
+        .get_or_init(|| {
+            let path =
+                std::env::temp_dir().join(format!("sraa_cli_calls_{}.c", std::process::id()));
+            std::fs::write(&path, CALLS).expect("can write temp MiniC file");
+            path
+        })
+        .clone()
+}
+
+/// The `LT` row of an `eval` summary as (no-alias, may, must).
+fn lt_row(summary: &str) -> (u64, u64, u64) {
+    let line = summary
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some("LT"))
+        .unwrap_or_else(|| panic!("no LT row in:\n{summary}"));
+    let mut it = line.split_whitespace().skip(1).map(|n| n.parse().expect("count"));
+    (it.next().unwrap(), it.next().unwrap(), it.next().unwrap())
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_usage() {
+    let f = tiny_file();
+    let path = f.to_str().unwrap();
+    // Pre-fix regression: anything left after `--solver` was stripped
+    // used to be silently ignored, hiding typos like `--interporc`.
+    for args in [
+        vec!["eval", path, "--frobnicate"],
+        vec!["eval", path, "--solver", "scc", "--interporc"],
+        vec!["lt", path, "main", "--bogus"],
+        vec!["compile", path, "--interproc"], // not an engine subcommand
+        vec!["opt", path, "--ba", "--wat"],
+        vec!["pdg", path, "--wat"],
+        vec!["run", path, "--wat"],
+        vec!["gen", "1", "2", "--wat"],
+    ] {
+        let out = sraa(&args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(err.contains("unknown flag"), "args {args:?}: {err}");
+        assert!(err.contains("usage:"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn eval_interproc_gains_no_alias_verdicts() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let intra = sraa(&["eval", path]);
+    let inter = sraa(&["eval", path, "--interproc"]);
+    assert!(intra.status.success() && inter.status.success());
+    let (intra_na, _, _) = lt_row(&stdout(&intra));
+    let (inter_na, _, _) = lt_row(&stdout(&inter));
+    assert!(
+        inter_na > intra_na,
+        "summaries must add LT no-alias verdicts: {intra_na} -> {inter_na}"
+    );
+}
+
+#[test]
+fn interproc_output_is_deterministic_and_solver_independent() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let first = sraa(&["eval", path, "--interproc"]);
+    assert!(first.status.success());
+    let again = sraa(&["eval", path, "--interproc"]);
+    assert_eq!(stdout(&first), stdout(&again), "interproc eval must be deterministic");
+    let wl = sraa(&["eval", path, "--interproc", "--solver", "worklist"]);
+    assert_eq!(stdout(&first), stdout(&wl), "verdicts must not depend on the solver strategy");
+}
+
+#[test]
+fn lt_interproc_reports_summary_stats() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let out = sraa(&["lt", path, "use_helper", "--interproc"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("interproc:"), "missing summary stats line in:\n{text}");
+    assert!(text.contains("summary fact(s)"), "got:\n{text}");
+    // Intra mode must not print the summary line.
+    let intra = sraa(&["lt", path, "use_helper"]);
+    assert!(!stdout(&intra).contains("interproc:"));
+}
+
 #[test]
 fn pdg_counts_memory_nodes() {
     let f = tiny_file();

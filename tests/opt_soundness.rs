@@ -100,6 +100,7 @@ fn optimisations_preserve_csmith_program_behaviour() {
             seed: 4_200 + seed,
             max_ptr_depth: (2 + seed % 6) as u8,
             num_stmts: 40 + (seed as usize % 3) * 20,
+            helpers: 0,
         });
         check_program(&w.source, &w.name);
     }

@@ -71,6 +71,7 @@ fn fold_then_dce_shrinks_csmith_programs() {
             seed: seed + 900,
             max_ptr_depth: 2,
             num_stmts: 60,
+            helpers: 0,
         });
         let mut m = sraa_minic::compile(&w.source).unwrap();
         let before_result = Interpreter::new(&m).run("main", &[]).unwrap().result;

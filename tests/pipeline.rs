@@ -56,6 +56,7 @@ fn ir_round_trips_through_the_textual_format() {
             seed,
             max_ptr_depth: 3,
             num_stmts: 40,
+            helpers: 0,
         });
         let mut m = sraa_minic::compile(&w.source).unwrap();
         // Round-trip the e-SSA form too (σ-copy annotations included).
@@ -138,6 +139,7 @@ fn interpreters_are_deterministic() {
         seed: 99,
         max_ptr_depth: 4,
         num_stmts: 70,
+        helpers: 0,
     });
     let m = sraa_minic::compile(&w.source).unwrap();
     let a = Interpreter::new(&m).run("main", &[]).unwrap();

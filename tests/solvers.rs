@@ -92,6 +92,7 @@ fn solvers_agree_on_csmith_population() {
             seed: 9_000 + seed,
             max_ptr_depth: (2 + seed % 6) as u8,
             num_stmts: 30 + (seed as usize % 4) * 15,
+            helpers: 0,
         };
         let w = csmith_generate(cfg);
         assert_solvers_agree(&w.source, &w.name);
@@ -112,6 +113,7 @@ fn engine_strategies_agree_on_csmith_population() {
             seed: 17_000 + seed,
             max_ptr_depth: (2 + seed % 4) as u8,
             num_stmts: 40,
+            helpers: 0,
         });
         assert_engine_strategies_agree(&w.source, &w.name);
     }

@@ -61,9 +61,12 @@ fn frame_func(frame: &Frame) -> FuncId {
 }
 
 /// Builds the per-function check tables for a fully analysed module.
+/// Every engine in `lts` contributes its strict-inequality facts (the
+/// interprocedural engine claims strictly more of them than the
+/// intraprocedural one — each claim faces the same dynamic bar).
 fn build_checks(
     module: &Module,
-    lt: &StrictInequalityAa,
+    lts: &[(&'static str, &StrictInequalityAa)],
     analyses: &[(&'static str, &dyn AliasAnalysis)],
 ) -> Vec<FuncChecks> {
     let mut out = Vec::new();
@@ -94,8 +97,10 @@ fn build_checks(
                     if !liveness.live_at_def(f, &positions, o, w) {
                         continue;
                     }
-                    if lt.engine().less_than(fid, o, w) {
-                        at_def[w.index()].push((o, Check::StrictlyLess, "LT"));
+                    for (tag, lt) in lts {
+                        if lt.engine().less_than(fid, o, w) {
+                            at_def[w.index()].push((o, Check::StrictlyLess, tag));
+                        }
                     }
                     let both_ptr = f.value_type(o).is_some_and(Type::is_ptr)
                         && f.value_type(w).is_some_and(Type::is_ptr);
@@ -119,6 +124,12 @@ fn check_workload(source: &str, name: &str) {
     let mut module = sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: {e}"));
     let lt = StrictInequalityAa::new(&mut module);
     sraa_ir::verify(&module).unwrap_or_else(|e| panic!("{name}: {e}"));
+    // The interprocedural engine analyses its own copy of the module (the
+    // e-SSA pipeline is deterministic, so the copies are identical) and
+    // must survive the same execution as the intraprocedural one.
+    let mut module2 = sraa_minic::compile(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let lt_ip = StrictInequalityAa::interprocedural(&mut module2);
+    assert_eq!(module, module2, "{name}: contextuality must not perturb the pipeline");
     let ba = BasicAliasAnalysis::new(&module);
     let cf = AndersenAnalysis::new(&module);
     // The dense Pentagon adapter runs on the same e-SSA module the LT
@@ -126,8 +137,8 @@ fn check_workload(source: &str, name: &str) {
     // bar as everyone else's.
     let pt = sraa_alias::PentagonAa::on_prepared(&module);
     let analyses: Vec<(&'static str, &dyn AliasAnalysis)> =
-        vec![("LT-aa", &lt), ("BA", &ba), ("CF", &cf), ("PT", &pt)];
-    let checks = build_checks(&module, &lt, &analyses);
+        vec![("LT-aa", &lt), ("LT-ip-aa", &lt_ip), ("BA", &ba), ("CF", &cf), ("PT", &pt)];
+    let checks = build_checks(&module, &[("LT", &lt), ("LT-ip", &lt_ip)], &analyses);
     let mut obs = SoundnessObserver { checks: &checks, violations: Vec::new() };
     let mut interp = Interpreter::new(&module).with_step_limit(5_000_000);
     match interp.run_observed("main", &[], &mut obs) {
@@ -150,6 +161,9 @@ fn csmith_programs_respect_all_no_alias_and_lt_claims() {
                 seed: seed * 31 + depth as u64,
                 max_ptr_depth: depth,
                 num_stmts: 60,
+                // A third of the corpus contains helper calls, so the
+                // interprocedural claims face call-crossing executions.
+                helpers: (seed % 3) as usize,
             });
             check_workload(&w.source, &w.name);
         }
@@ -159,6 +173,17 @@ fn csmith_programs_respect_all_no_alias_and_lt_claims() {
 #[test]
 fn spec_profiles_respect_all_no_alias_and_lt_claims() {
     for w in sraa_synth::spec_all().into_iter().take(6) {
+        check_workload(&w.source, &w.name);
+    }
+}
+
+#[test]
+fn call_heavy_suite_respects_all_no_alias_and_lt_claims() {
+    // The population the summary layer is measured on: helper bounds
+    // checks, chained helpers, recursive partitions. Every extra
+    // no-alias / less-than fact the interprocedural engine claims is
+    // checked against the concrete execution.
+    for w in sraa_synth::call_suite(9) {
         check_workload(&w.source, &w.name);
     }
 }
@@ -244,6 +269,7 @@ fn range_analysis_contains_all_runtime_values() {
             seed: seed + 500,
             max_ptr_depth: 3,
             num_stmts: 50,
+            helpers: 0,
         });
         let mut m = sraa_minic::compile(&w.source).unwrap();
         let (ranges, _) = sraa_essa::transform_module(&mut m);
@@ -273,6 +299,7 @@ fn range_offset_criterion_is_dynamically_sound() {
                 seed: seed * 13 + depth as u64,
                 max_ptr_depth: depth,
                 num_stmts: 70,
+                helpers: 0,
             });
             let mut module = sraa_minic::compile(&w.source).unwrap();
             let lt = StrictInequalityAa::with_config(
@@ -280,7 +307,7 @@ fn range_offset_criterion_is_dynamically_sound() {
                 GenConfig { range_offsets: true, ..Default::default() },
             );
             let analyses: Vec<(&'static str, &dyn AliasAnalysis)> = vec![("LT+ranges", &lt)];
-            let checks = build_checks(&module, &lt, &analyses);
+            let checks = build_checks(&module, &[("LT+ranges", &lt)], &analyses);
             let mut obs = SoundnessObserver { checks: &checks, violations: Vec::new() };
             let mut interp = Interpreter::new(&module).with_step_limit(5_000_000);
             interp.run_observed("main", &[], &mut obs).unwrap();
