@@ -21,6 +21,10 @@
 //!   over the call-heavy suite, and the summaries-over-intra gain must
 //!   stay strictly positive. These are deterministic, so any drop is a
 //!   real precision regression.
+//! * **cache effectiveness** (must not drop) — the incremental engine's
+//!   warm-run hit rate over unchanged modules. Deterministic; anything
+//!   under the baseline's 1.0 means summary keys churn without an edit,
+//!   i.e. the cache stopped caching.
 //! * **work** (≤ baseline × tolerance) — constraint evaluations per
 //!   constraint for both solver strategies, and total summary solves.
 //!   Deterministic counters: immune to machine noise.
@@ -54,6 +58,7 @@ fn main() {
     let baseline = read_doc(baseline_path);
     let fresh = read_doc(fresh_path);
     let (binter, finter) = (baseline.section("interproc"), fresh.section("interproc"));
+    let (binc, finc) = (baseline.section("incremental"), fresh.section("incremental"));
     let mut gate = Gate { failures: 0, tolerance: 1.0 + tolerance_pct / 100.0 };
 
     println!(
@@ -73,6 +78,8 @@ fn main() {
         baseline.num("total_constraints"),
         fresh.num("total_constraints"),
     );
+    corpus_ok &= gate.exact("incremental.workloads", binc.num("workloads"), finc.num("workloads"));
+    corpus_ok &= gate.exact("incremental.functions", binc.num("functions"), finc.num("functions"));
     if !corpus_ok {
         eprintln!(
             "\nthe benchmark corpus differs from the baseline's — if intentional, regenerate \
@@ -101,6 +108,10 @@ fn main() {
         gate.failures += 1;
     }
 
+    // Cache effectiveness: warm runs on unchanged modules must keep
+    // hitting (deterministic; the baseline pins 1.0).
+    gate.at_least("incremental.hit_rate", binc.num("hit_rate"), finc.num("hit_rate"));
+
     // Work: deterministic counters, at most baseline × tolerance.
     for (i, solver) in ["worklist", "scc"].iter().enumerate() {
         gate.at_most(
@@ -126,6 +137,18 @@ fn main() {
         "interproc.summaries_build/calib",
         binter.num("summaries_build_us") / bc,
         finter.num("summaries_build_us") / fc,
+    );
+    // Warm runs only hash and look up; a slowdown here is the cache
+    // itself regressing (key computation, lookup path, serialization).
+    gate.at_most(
+        "incremental.warm_us/calibration",
+        binc.num("warm_us") / bc,
+        finc.num("warm_us") / fc,
+    );
+    gate.at_most(
+        "incremental.sharded_warm/calib",
+        binc.num("sharded_warm_us") / bc,
+        finc.num("sharded_warm_us") / fc,
     );
 
     if gate.failures > 0 {

@@ -23,8 +23,9 @@
 use crate::analysis::{derived_pointer, strip_copies};
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::fast_solver::solve_fast;
+use crate::persist;
 use crate::solver::{solve, Solution, SolveStats};
-use crate::summary::ModuleSummaries;
+use crate::summary::{CacheOutcome, ModuleSummaries};
 use crate::var_index::VarIndex;
 use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
 use sraa_range::RangeAnalysis;
@@ -175,8 +176,9 @@ impl std::fmt::Display for Contextuality {
 }
 
 /// Full engine configuration: constraint-generation options, the fixpoint
-/// strategy, and the interprocedural mode.
-#[derive(Clone, Copy, Debug, Default)]
+/// strategy, the interprocedural mode, and the optional persistent
+/// summary cache.
+#[derive(Clone, Debug, Default)]
 pub struct EngineConfig {
     /// Constraint-generation options (paper fidelity knobs).
     pub gen: GenConfig,
@@ -184,12 +186,28 @@ pub struct EngineConfig {
     pub solver: SolverKind,
     /// Interprocedural mode (default: [`Contextuality::Intra`]).
     pub contextuality: Contextuality,
+    /// Path of the persistent summary cache (the CLI's `--summary-cache`).
+    /// Only meaningful with [`Contextuality::Summaries`] — the cache
+    /// stores interprocedural summaries. When set, the engine reads the
+    /// file before the summary phase (any defect falls back to a cold
+    /// solve with a warning on stderr, never a panic or a stale result)
+    /// and rewrites it afterwards. Hit/miss/invalidated counts land in
+    /// [`SolveStats`].
+    pub summary_cache: Option<std::path::PathBuf>,
 }
 
 impl EngineConfig {
     /// This configuration with interprocedural summaries switched on.
     pub fn with_summaries(mut self) -> Self {
         self.contextuality = Contextuality::Summaries;
+        self
+    }
+
+    /// This configuration with a persistent summary cache at `path`
+    /// (implies [`Contextuality::Summaries`]).
+    pub fn with_summary_cache(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.contextuality = Contextuality::Summaries;
+        self.summary_cache = Some(path.into());
         self
     }
 }
@@ -278,19 +296,69 @@ impl DisambiguationEngine {
         let solver = cfg.solver.solver();
         // Interprocedural mode: distil per-function summaries bottom-up
         // over the condensed call graph first, then let module-wide
-        // constraint generation apply them at every call site.
+        // constraint generation apply them at every call site. With a
+        // persistent cache configured, unchanged components reuse their
+        // stored summaries instead of re-solving.
+        let summary_t0 = std::time::Instant::now();
+        let mut cache_outcome = CacheOutcome::default();
         let summaries = match cfg.contextuality {
             Contextuality::Intra => None,
-            Contextuality::Summaries => {
-                Some(ModuleSummaries::compute(module, ranges, cfg.gen, &index, solver))
-            }
+            Contextuality::Summaries => match &cfg.summary_cache {
+                None => Some(ModuleSummaries::compute(module, ranges, cfg.gen, &index, solver)),
+                Some(path) => {
+                    let cache = match persist::load(path, cfg.gen) {
+                        Ok(cache) => Some(cache),
+                        Err(e) if e.is_not_found() => None, // first run: plain cold start
+                        Err(e) => {
+                            eprintln!(
+                                "# summary-cache warning: {}: {e}; running cold",
+                                path.display()
+                            );
+                            None
+                        }
+                    };
+                    let had_entries = cache.as_ref().is_some_and(|c| !c.is_empty());
+                    let (sums, keys, mut outcome) = ModuleSummaries::compute_incremental(
+                        module,
+                        ranges,
+                        cfg.gen,
+                        &index,
+                        solver,
+                        cache.as_ref(),
+                    );
+                    if cache.is_none() {
+                        // No usable cache at all: every function was a
+                        // miss, so a first (or fallback) run reports an
+                        // honest 0% hit rate rather than a vacuous 100%.
+                        outcome.misses = module.num_functions() as u32;
+                    }
+                    if had_entries && outcome.hits == 0 && module.num_functions() > 0 {
+                        eprintln!(
+                            "# summary-cache warning: {}: no cached summary matched this \
+                             module; running cold",
+                            path.display()
+                        );
+                    }
+                    // Rewrite unconditionally: refreshes stale entries and
+                    // heals corrupted files. A write failure only costs
+                    // the *next* run its warm start.
+                    if let Err(e) = persist::save(path, module, &sums, &keys, cfg.gen) {
+                        eprintln!("# summary-cache warning: cannot write {}: {e}", path.display());
+                    }
+                    cache_outcome = outcome;
+                    Some(sums)
+                }
+            },
         };
+        let summary_build_ns =
+            if summaries.is_some() { summary_t0.elapsed().as_nanos() as u64 } else { 0 };
         let mut sys = match &summaries {
             None => constraints::generate_with_index(module, ranges, cfg.gen, &index),
             Some(sums) => {
                 constraints::generate_with_summaries(module, ranges, cfg.gen, &index, sums)
             }
         };
+        let solve_t0 = std::time::Instant::now();
         let mut solution = solver.solve(&sys.constraints, sys.num_vars);
 
         // Parameter-pair refinement (see `GenConfig::param_pairs`): when
@@ -330,6 +398,15 @@ impl DisambiguationEngine {
                 solution = solver.solve(&sys.constraints, sys.num_vars);
             }
         }
+
+        // Per-phase attribution (see `SolveStats`): wall clock split
+        // between the summary build (includes cache IO on warm runs) and
+        // the module-wide solve(s), plus the deterministic cache counters.
+        solution.stats.summary_build_ns = summary_build_ns;
+        solution.stats.final_solve_ns = solve_t0.elapsed().as_nanos() as u64;
+        solution.stats.cache_hits = cache_outcome.hits;
+        solution.stats.cache_misses = cache_outcome.misses;
+        solution.stats.cache_invalidated = cache_outcome.invalidated;
 
         Self {
             index,
@@ -653,6 +730,42 @@ mod tests {
             assert_eq!(Contextuality::parse(c.as_str()), Some(c));
             assert_eq!(format!("{c}"), c.as_str());
         }
+    }
+
+    #[test]
+    fn per_phase_timings_are_attributed_and_excluded_from_equality() {
+        let src = r#"
+            int* advance(int* p, int k) { if (k > 0) { return p + k; } return p + 1; }
+            int main() { int a[8]; int* q = advance(a, 3); return *q; }
+        "#;
+        let mut m1 = sraa_minic::compile(src).unwrap();
+        let intra = DisambiguationEngine::build(&mut m1, EngineConfig::default());
+        let mut m2 = sraa_minic::compile(src).unwrap();
+        let inter = DisambiguationEngine::build(&mut m2, EngineConfig::default().with_summaries());
+
+        assert_eq!(intra.stats().summary_build_ns, 0, "no summary phase in intra mode");
+        assert!(intra.stats().final_solve_ns > 0, "the final solve must be timed");
+        assert!(inter.stats().summary_build_ns > 0, "the summary phase must be timed");
+        assert!(inter.stats().final_solve_ns > 0);
+        assert_eq!(
+            (intra.stats().cache_hits, intra.stats().cache_misses),
+            (0, 0),
+            "no cache configured"
+        );
+
+        // Equality compares the deterministic counters only: two runs of
+        // the same pipeline agree even though their timings differ …
+        let mut a = *inter.stats();
+        let mut b = a;
+        b.summary_build_ns = a.summary_build_ns.wrapping_add(12_345);
+        b.final_solve_ns = 0;
+        assert_eq!(a, b, "wall-clock fields must not affect SolveStats equality");
+        // … while any deterministic counter still distinguishes them.
+        b.pops += 1;
+        assert_ne!(a, b);
+        a.cache_hits += 1;
+        b.pops -= 1;
+        assert_ne!(a, b);
     }
 
     #[test]

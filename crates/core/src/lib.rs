@@ -93,6 +93,7 @@ pub mod engine;
 pub mod fast_solver;
 pub mod lt_set;
 pub mod ondemand;
+pub mod persist;
 pub mod solver;
 pub mod summary;
 #[cfg(test)]
@@ -108,6 +109,7 @@ pub use engine::{
 pub use fast_solver::solve_fast;
 pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;
+pub use persist::{PersistError, SummaryCache, SummaryKeys, FORMAT_VERSION};
 pub use solver::{solve, Solution, SolveStats};
-pub use summary::{FunctionSummary, ModuleSummaries, SummaryStats};
+pub use summary::{CacheOutcome, FunctionSummary, ModuleSummaries, SummaryStats};
 pub use var_index::{VarId, VarIndex};

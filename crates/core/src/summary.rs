@@ -52,6 +52,7 @@
 
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::engine::FixpointSolver;
+use crate::persist::{SummaryCache, SummaryKeys};
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{CallGraph, FuncId, InstKind, Module, Value};
 use sraa_range::RangeAnalysis;
@@ -61,8 +62,9 @@ use sraa_range::RangeAnalysis;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FunctionSummary {
     /// Sorted indices `j` of formal parameters with `param_j < ret` at
-    /// every return site.
-    args_lt_ret: Box<[u32]>,
+    /// every return site. (`pub(crate)` so `persist` can reconstruct
+    /// summaries from their serialized form.)
+    pub(crate) args_lt_ret: Box<[u32]>,
 }
 
 impl FunctionSummary {
@@ -90,10 +92,41 @@ pub struct SummaryStats {
     pub sccs: usize,
     /// Components containing a call cycle.
     pub recursive_sccs: usize,
-    /// Total per-SCC solves (≥ `sccs`; recursion iterates).
+    /// Total per-SCC solves (≥ `sccs` on a cold run; recursion iterates,
+    /// and warm runs skip cache-hit components entirely).
     pub solves: u64,
     /// Total `param_j < ret` facts across all functions.
     pub facts: usize,
+}
+
+/// How a warm run used the persistent summary cache, counted per
+/// *function* (every function of the module falls in exactly one bucket).
+///
+/// Deterministic for a given `(module, cache)` pair — the differential
+/// tests assert the exact counts against call-graph reverse reachability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Functions whose cached key matched; their summaries were reused
+    /// and their component's solve skipped.
+    pub hits: u32,
+    /// Functions with no cache entry under their name.
+    pub misses: u32,
+    /// Functions whose entry exists but whose key changed (the function,
+    /// or something it can call, was edited).
+    pub invalidated: u32,
+}
+
+impl CacheOutcome {
+    /// Hits over all classified functions, in `[0, 1]`; `1.0` for an
+    /// empty module (nothing *missed*).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.invalidated;
+        if total == 0 {
+            1.0
+        } else {
+            f64::from(self.hits) / f64::from(total)
+        }
+    }
 }
 
 /// Per-function summaries for a whole module, in [`FuncId`] order.
@@ -116,7 +149,48 @@ impl ModuleSummaries {
         index: &VarIndex,
         solver: &dyn FixpointSolver,
     ) -> Self {
-        let cond = CallGraph::build(module).condense();
+        Self::compute_inner(module, ranges, cfg, index, solver, false, None).0
+    }
+
+    /// [`ModuleSummaries::compute`] with a **warm path**: components whose
+    /// members all hit the persistent `cache` (same name, same
+    /// [`SummaryKeys`] key) reuse their stored summaries and skip the
+    /// Init-grounded per-SCC solve entirely. Cold components solve as
+    /// usual — against the already-installed summaries of their callees,
+    /// cached or not — so the result is *identical* to a cold
+    /// [`ModuleSummaries::compute`] (up to `stats.solves`, which records
+    /// the work actually done; the differential suite in
+    /// `tests/incremental.rs` holds this to byte-identical solutions).
+    /// Computes (and returns) the [`SummaryKeys`] itself, sharing one
+    /// call-graph + condensation build with the solve loop; hand the
+    /// keys to [`crate::persist::save`] to refresh the cache afterwards.
+    pub fn compute_incremental(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        cfg: GenConfig,
+        index: &VarIndex,
+        solver: &dyn FixpointSolver,
+        cache: Option<&SummaryCache>,
+    ) -> (Self, SummaryKeys, CacheOutcome) {
+        let (sums, keys, outcome) =
+            Self::compute_inner(module, ranges, cfg, index, solver, true, cache);
+        (sums, keys.expect("requested above"), outcome)
+    }
+
+    fn compute_inner(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        cfg: GenConfig,
+        index: &VarIndex,
+        solver: &dyn FixpointSolver,
+        want_keys: bool,
+        cache: Option<&SummaryCache>,
+    ) -> (Self, Option<SummaryKeys>, CacheOutcome) {
+        let cg = CallGraph::build(module);
+        let cond = cg.condense();
+        let keys = want_keys.then(|| SummaryKeys::compute_with(module, &cg, &cond));
+        let warm = cache.and_then(|c| keys.as_ref().map(|k| (k, c)));
+        let mut outcome = CacheOutcome::default();
         let mut sums = ModuleSummaries {
             per_func: vec![FunctionSummary::default(); module.num_functions()],
             stats: SummaryStats {
@@ -127,6 +201,37 @@ impl ModuleSummaries {
         };
 
         for (ci, members) in cond.bottom_up() {
+            // Warm path: an all-members hit installs the cached summaries
+            // and skips the solve. Partial hits cannot happen within a
+            // component (members are mutually reachable, so one edit
+            // re-keys them all) short of a hash collision; if one ever
+            // did, the cold path below recomputes everything soundly.
+            if let Some((keys, cache)) = warm {
+                let mut all_hit = true;
+                for &f in members {
+                    match cache.get(&module.function(f).name) {
+                        Some((k, _)) if k == keys.of(f) => outcome.hits += 1,
+                        Some(_) => {
+                            outcome.invalidated += 1;
+                            all_hit = false;
+                        }
+                        None => {
+                            outcome.misses += 1;
+                            all_hit = false;
+                        }
+                    }
+                }
+                if all_hit {
+                    for &f in members {
+                        let cached = cache
+                            .lookup(&module.function(f).name, keys.of(f))
+                            .expect("classified as hit above");
+                        sums.per_func[f.index()] = cached.clone();
+                    }
+                    continue;
+                }
+            }
+
             let recursive = cond.is_recursive(ci);
             if recursive {
                 // Optimistic start: assume every parameter of every member
@@ -161,7 +266,7 @@ impl ModuleSummaries {
         }
 
         sums.stats.facts = sums.per_func.iter().map(FunctionSummary::facts).sum();
-        sums
+        (sums, keys, outcome)
     }
 
     /// The summary of function `f`.
@@ -413,6 +518,56 @@ mod tests {
         );
         assert_eq!(facts_of(&m, &sums, "sink"), Vec::<u32>::new());
         assert_eq!(facts_of(&m, &sums, "fortytwo"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn warm_run_reuses_every_summary_and_skips_all_solves() {
+        use crate::persist::{self, SummaryKeys};
+        let src = r#"
+            int next(int i) { return i + 1; }
+            int twice(int i) { return next(next(i)); }
+            int main() { return twice(1); }
+        "#;
+        let mut m = sraa_minic::compile(src).unwrap();
+        let (ranges, _) = sraa_essa::transform_module(&mut m);
+        let index = VarIndex::new(&m);
+        let solver = SolverKind::Scc.solver();
+        let cold = ModuleSummaries::compute(&m, &ranges, GenConfig::default(), &index, solver);
+        let keys = SummaryKeys::compute(&m);
+        let cache = persist::from_bytes(
+            &persist::to_bytes(&m, &cold, &keys, GenConfig::default()),
+            GenConfig::default(),
+        )
+        .unwrap();
+
+        let (warm, warm_keys, outcome) = ModuleSummaries::compute_incremental(
+            &m,
+            &ranges,
+            GenConfig::default(),
+            &index,
+            solver,
+            Some(&cache),
+        );
+        assert_eq!(warm_keys, keys, "keys must not depend on who builds the condensation");
+        assert_eq!((outcome.hits, outcome.misses, outcome.invalidated), (3, 0, 0));
+        assert_eq!(outcome.hit_rate(), 1.0);
+        assert_eq!(warm.stats.solves, 0, "an all-hit warm run must not solve anything");
+        for (f, s) in cold.iter() {
+            assert_eq!(warm.of(f), s);
+        }
+        assert_eq!(warm.facts(), cold.facts());
+
+        // Without a cache, the incremental entry point is exactly `compute`.
+        let (cold2, _, zero) = ModuleSummaries::compute_incremental(
+            &m,
+            &ranges,
+            GenConfig::default(),
+            &index,
+            solver,
+            None,
+        );
+        assert_eq!(cold2, cold);
+        assert_eq!(zero, CacheOutcome::default());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   bottom-up (callees-first) order, the substrate of the
 //!   interprocedural summary layer;
 //! * [`dom`] — dominator tree (Cooper–Harvey–Kennedy) and dominance queries;
+//! * [`fingerprint`] — endianness-stable content hashes of function
+//!   bodies, the per-body half of the incremental summary-cache key;
 //! * [`liveness`] — SSA live-in/live-out sets;
 //! * [`defuse`] — def-use chains;
 //! * [`verifier`] — SSA and type well-formedness checks;
@@ -70,6 +72,7 @@ pub mod callgraph;
 pub mod cfg;
 pub mod defuse;
 pub mod dom;
+pub mod fingerprint;
 pub mod function;
 pub mod ids;
 pub mod inst;
@@ -90,6 +93,7 @@ pub use callgraph::{CallGraph, Condensation};
 pub use cfg::Cfg;
 pub use defuse::DefUse;
 pub use dom::{DomTree, PostDomTree};
+pub use fingerprint::{body_fingerprint, Fnv64};
 pub use function::{Block, Function};
 pub use ids::{BlockId, FuncId, GlobalId, Value};
 pub use inst::{BinOp, CopyOrigin, InstData, InstKind, Pred};

@@ -17,7 +17,13 @@
 //! knob and a differential-testing hook. They also accept `--interproc`,
 //! which switches the engine to bottom-up interprocedural summaries
 //! ([`Contextuality::Summaries`]) so strict-inequality facts cross call
-//! boundaries — strictly more `no-alias` verdicts, never fewer.
+//! boundaries — strictly more `no-alias` verdicts, never fewer — and
+//! `--summary-cache <path>` (implies `--interproc`), which persists those
+//! summaries between runs: unchanged functions skip their per-SCC solves
+//! on the next invocation. Cache outcomes (`N hit(s), M miss(es), …`) go
+//! to stderr so stdout stays byte-identical between warm and cold runs;
+//! a damaged or mismatched cache file falls back to a cold solve with a
+//! warning, never a panic or a stale result.
 //!
 //! Unrecognised `--flags` are rejected with exit code 2 (they used to be
 //! silently ignored, which hid typos like `--interporc`).
@@ -27,7 +33,7 @@ use sraa::alias::{
     SteensgaardAnalysis, StrictInequalityAa,
 };
 use sraa::ir::{InstKind, Interpreter, ModuleStats};
-use sraa::lt::{Contextuality, EngineConfig, SolverKind};
+use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -55,7 +61,10 @@ fn main() {
                  \n  --solver {{worklist,scc}}     fixpoint strategy for\
                  \n                              eval/lt/pdg/opt (default scc)\
                  \n  --interproc                 bottom-up call summaries for\
-                 \n                              eval/lt/pdg/opt (default intra)"
+                 \n                              eval/lt/pdg/opt (default intra)\
+                 \n  --summary-cache <path>      persist summaries between runs;\
+                 \n                              unchanged functions skip their\
+                 \n                              solves (implies --interproc)"
             );
             2
         }
@@ -63,9 +72,11 @@ fn main() {
     exit(code);
 }
 
-/// Extracts `--solver <kind>` and `--interproc` from `args`, returning
-/// the remaining arguments and the chosen [`EngineConfig`] knobs
-/// (defaults: [`SolverKind::Scc`], [`Contextuality::Intra`]).
+/// Extracts `--solver <kind>`, `--interproc` and `--summary-cache <path>`
+/// from `args`, returning the remaining arguments and the chosen
+/// [`EngineConfig`] knobs (defaults: [`SolverKind::Scc`],
+/// [`Contextuality::Intra`], no cache). `--summary-cache` implies
+/// `--interproc` — the cache stores interprocedural summaries.
 fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32> {
     let mut cfg = EngineConfig::default();
     let (rest, solver) = take_value_flag(args, "--solver")?;
@@ -80,7 +91,33 @@ fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32
     if interproc {
         cfg.contextuality = Contextuality::Summaries;
     }
+    let (rest, cache) = take_value_flag(&rest, "--summary-cache")?;
+    if let Some(path) = cache {
+        cfg = cfg.with_summary_cache(path);
+    }
     Ok((rest, cfg))
+}
+
+/// Prints the warm/cold summary-cache outcome to **stderr** (stdout stays
+/// byte-identical between warm and cold runs, which the differential
+/// tests and the CI warm-run smoke rely on).
+fn report_cache(used_cache: bool, lt: &StrictInequalityAa) {
+    if !used_cache {
+        return;
+    }
+    let s = lt.engine().stats();
+    let outcome = CacheOutcome {
+        hits: s.cache_hits,
+        misses: s.cache_misses,
+        invalidated: s.cache_invalidated,
+    };
+    eprintln!(
+        "# summary-cache: {} hit(s), {} miss(es), {} invalidated ({:.1}% hit rate)",
+        outcome.hits,
+        outcome.misses,
+        outcome.invalidated,
+        outcome.hit_rate() * 100.0
+    );
 }
 
 /// Extracts a value-taking `flag <value>` pair from `args`, returning
@@ -160,7 +197,8 @@ fn cmd_compile(args: &[String]) -> i32 {
 }
 
 fn cmd_eval(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa eval <file.c> [--solver worklist|scc] [--interproc]";
+    const USAGE: &str =
+        "sraa eval <file.c> [--solver worklist|scc] [--interproc] [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -170,7 +208,9 @@ fn cmd_eval(args: &[String]) -> i32 {
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
+    let used_cache = cfg.summary_cache.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
+    report_cache(used_cache, &lt);
     let ba = BasicAliasAnalysis::new(&m);
     let cf = AndersenAnalysis::new(&m);
     let st = SteensgaardAnalysis::new(&m);
@@ -199,7 +239,8 @@ fn cmd_eval(args: &[String]) -> i32 {
 }
 
 fn cmd_lt(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] [--interproc]";
+    const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] [--interproc] \
+                         [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -209,7 +250,9 @@ fn cmd_lt(args: &[String]) -> i32 {
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
+    let used_cache = cfg.summary_cache.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
+    report_cache(used_cache, &lt);
     let Some(fid) = m.function_by_name(fname) else {
         eprintln!("no function `{fname}`");
         return 1;
@@ -282,7 +325,8 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_pdg(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa pdg <file.c> [--solver worklist|scc] [--interproc]";
+    const USAGE: &str =
+        "sraa pdg <file.c> [--solver worklist|scc] [--interproc] [--summary-cache <path>]";
     let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -293,7 +337,9 @@ fn cmd_pdg(args: &[String]) -> i32 {
     };
     let Ok(mut m) = load(path) else { return 1 };
     cfg.gen.range_offsets = true; // the Figure 12 experiment's setting
+    let used_cache = cfg.summary_cache.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
+    report_cache(used_cache, &lt);
     let ba = BasicAliasAnalysis::new(&m);
     let both = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
     let g_ba = DepGraph::build(&m, &ba);
@@ -307,7 +353,8 @@ fn cmd_pdg(args: &[String]) -> i32 {
 }
 
 fn cmd_opt(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] [--interproc]";
+    const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] [--interproc] \
+                         [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     let (args, ba_only) = take_flag(&args, "--ba");
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
@@ -318,7 +365,9 @@ fn cmd_opt(args: &[String]) -> i32 {
         return 2;
     };
     let Ok(mut m) = load(path) else { return 1 };
+    let used_cache = cfg.summary_cache.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
+    report_cache(used_cache, &lt);
     let aa: Box<dyn AliasAnalysis> = if ba_only {
         Box::new(BasicAliasAnalysis::new(&m))
     } else {

@@ -268,6 +268,144 @@ fn lt_interproc_reports_summary_stats() {
     assert!(!stdout(&intra).contains("interproc:"));
 }
 
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test cache path (tests run in parallel; never share one file).
+fn cache_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sraa_cli_cache_{tag}_{}.bin", std::process::id()))
+}
+
+#[test]
+fn summary_cache_warm_run_is_byte_identical_with_full_hits() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let cache = cache_path("warm");
+    std::fs::remove_file(&cache).ok();
+    let cache = cache.to_str().unwrap();
+
+    let plain = sraa(&["eval", path, "--interproc"]);
+    let cold = sraa(&["eval", path, "--summary-cache", cache]);
+    let warm = sraa(&["eval", path, "--summary-cache", cache]);
+    assert!(plain.status.success() && cold.status.success() && warm.status.success());
+    // stdout must not betray the cache in any way.
+    assert_eq!(stdout(&plain), stdout(&cold), "a cold cached run must match --interproc");
+    assert_eq!(stdout(&cold), stdout(&warm), "warm and cold runs must be byte-identical");
+    // The outcome report lives on stderr.
+    assert!(stderr_of(&cold).contains("(0.0% hit rate)"), "cold: {}", stderr_of(&cold));
+    assert!(stderr_of(&warm).contains("(100.0% hit rate)"), "warm: {}", stderr_of(&warm));
+    assert!(stderr_of(&warm).contains("0 miss(es)"), "warm: {}", stderr_of(&warm));
+    std::fs::remove_file(cache).ok();
+}
+
+#[test]
+fn summary_cache_works_on_every_engine_verb() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    for verb in
+        [vec!["eval", path], vec!["lt", path, "use_helper"], vec!["pdg", path], vec!["opt", path]]
+    {
+        let cache = cache_path(&format!("verb_{}", verb[0]));
+        std::fs::remove_file(&cache).ok();
+        let mut warmed = verb.clone();
+        warmed.extend(["--summary-cache", cache.to_str().unwrap()]);
+        let cold = sraa(&warmed);
+        let warm = sraa(&warmed);
+        assert!(cold.status.success() && warm.status.success(), "{verb:?}");
+        // Analysis *results* must be byte-identical. The `lt` verb also
+        // prints a work-statistics line ("… N solve(s)") that honestly
+        // reports the warm run's skipped solves — exclude only that.
+        let results = |out: &Output| -> Vec<String> {
+            stdout(out)
+                .lines()
+                .filter(|l| !l.starts_with("interproc:"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(results(&cold), results(&warm), "{verb:?}: warm stdout differs");
+        assert!(stderr_of(&warm).contains("(100.0% hit rate)"), "{verb:?}: {}", stderr_of(&warm));
+        std::fs::remove_file(&cache).ok();
+    }
+    // A dangling `--summary-cache` with no value is a usage error.
+    let out = sraa(&["eval", path, "--summary-cache"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Corrupted, truncated, version-mismatched and wrong-module cache files
+/// must all fall back to a cold solve: exit 0, stdout identical to a
+/// cacheless run, a warning on stderr — never a panic or a stale result.
+#[test]
+fn defective_cache_files_fall_back_to_cold_with_a_warning() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let reference = sraa(&["eval", path, "--interproc"]);
+    assert!(reference.status.success());
+
+    let seed = cache_path("defect_seed");
+    std::fs::remove_file(&seed).ok();
+    let cold = sraa(&["eval", path, "--summary-cache", seed.to_str().unwrap()]);
+    assert!(cold.status.success());
+    let good = std::fs::read(&seed).expect("cache written");
+
+    let mut corrupted = good.clone();
+    corrupted[good.len() / 2] ^= 0x40;
+    let truncated = good[..good.len() / 2].to_vec();
+    // Patch the format version (offset 8, little-endian u16) and re-seal
+    // the checksum so the *version* check — not the checksum — fires.
+    let mut vnext = good.clone();
+    vnext[8..10].copy_from_slice(&(sraa_core::FORMAT_VERSION + 1).to_le_bytes());
+    let payload_len = vnext.len() - 8;
+    let mut h = sraa_ir::Fnv64::new();
+    h.write(&vnext[..payload_len]);
+    let checksum = h.finish().to_le_bytes();
+    vnext[payload_len..].copy_from_slice(&checksum);
+    // A cache honestly written for a *different* program.
+    let wrong = {
+        let tiny_cache = cache_path("defect_tiny");
+        std::fs::remove_file(&tiny_cache).ok();
+        let out = sraa(&[
+            "eval",
+            tiny_file().to_str().unwrap(),
+            "--summary-cache",
+            tiny_cache.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+        let bytes = std::fs::read(&tiny_cache).unwrap();
+        std::fs::remove_file(&tiny_cache).ok();
+        bytes
+    };
+
+    for (tag, bytes) in
+        [("corrupted", corrupted), ("truncated", truncated), ("version", vnext), ("wrong", wrong)]
+    {
+        let cache = cache_path(&format!("defect_{tag}"));
+        std::fs::write(&cache, &bytes).unwrap();
+        let out = sraa(&["eval", path, "--summary-cache", cache.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "{tag}: must fall back, not fail");
+        assert_eq!(
+            stdout(&out),
+            stdout(&reference),
+            "{tag}: fallback output must match a cold run exactly"
+        );
+        assert!(
+            stderr_of(&out).contains("summary-cache warning"),
+            "{tag}: no warning on stderr: {}",
+            stderr_of(&out)
+        );
+        // The defective file was healed: the next run is fully warm.
+        let again = sraa(&["eval", path, "--summary-cache", cache.to_str().unwrap()]);
+        assert!(again.status.success());
+        assert!(
+            stderr_of(&again).contains("(100.0% hit rate)"),
+            "{tag}: rewrite must heal the cache: {}",
+            stderr_of(&again)
+        );
+        std::fs::remove_file(&cache).ok();
+    }
+    std::fs::remove_file(&seed).ok();
+}
+
 #[test]
 fn pdg_counts_memory_nodes() {
     let f = tiny_file();
