@@ -26,7 +26,8 @@
 //!   under the baseline's 1.0 means summary keys churn without an edit,
 //!   i.e. the cache stopped caching.
 //! * **work** (≤ baseline × tolerance) — constraint evaluations per
-//!   constraint for both solver strategies, and total summary solves.
+//!   constraint for both solver strategies, total summary solves, and
+//!   heap allocation counts per solver and per lattice backend.
 //!   Deterministic counters: immune to machine noise.
 //! * **time** (≤ baseline × time tolerance, calibration-normalised) —
 //!   wall-clock totals divided by the run's own `calibration_us` (the
@@ -35,7 +36,11 @@
 //!   use a looser default bar (75%, `SRAA_GATE_TIME_TOLERANCE_PCT`):
 //!   normalisation cancels machine speed but not run-to-run noise on a
 //!   shared runner, and the deterministic counters already catch any
-//!   algorithmic regression tightly.
+//!   algorithmic regression tightly. Peak RSS rides under the same bar.
+//! * **hard floors** (fresh run only) — the SCC strategy must beat the
+//!   worklist (`scc_speedup_over_worklist ≥ 1.0`: it is the engine
+//!   default on that argument), and the sharded warm pass must not lose
+//!   to the serial one.
 
 use std::process::exit;
 
@@ -121,6 +126,19 @@ fn main() {
         );
     }
     gate.at_most("interproc.solves", binter.num("solves"), finter.num("solves"));
+    // Allocator pressure: like the eval counts, allocation counts are
+    // deterministic for a given input, so they carry the tight bar and
+    // catch "accidentally quadratic allocation" long before wall clock.
+    let (blat, flat) = (baseline.section("lattice"), fresh.section("lattice"));
+    for (i, solver) in ["worklist", "scc"].iter().enumerate() {
+        gate.at_most(
+            &format!("{solver}.total_allocs"),
+            baseline.occurrence("total_allocs", i),
+            fresh.occurrence("total_allocs", i),
+        );
+    }
+    gate.at_most("lattice.arc_allocs", blat.num("arc_allocs"), flat.num("arc_allocs"));
+    gate.at_most("lattice.dense_allocs", blat.num("dense_allocs"), flat.num("dense_allocs"));
 
     // Time: wall clock normalised by each run's own calibration solve,
     // under the looser time tolerance.
@@ -150,6 +168,25 @@ fn main() {
         binc.num("sharded_warm_us") / bc,
         finc.num("sharded_warm_us") / fc,
     );
+    // Sharding must actually pay for its threads *on this run*: the
+    // sharded warm pass may not be slower than the serial one (within
+    // the time tolerance), whatever the baseline recorded.
+    gate.at_most("incremental.sharded_vs_warm", finc.num("warm_us"), finc.num("sharded_warm_us"));
+    // Lattice backends, normalised like the solver totals.
+    gate.at_most("lattice.arc_us/calibration", blat.num("arc_us") / bc, flat.num("arc_us") / fc);
+    gate.at_most(
+        "lattice.dense_us/calibration",
+        blat.num("dense_us") / bc,
+        flat.num("dense_us") / fc,
+    );
+    // Peak RSS is machine-dependent (allocator, page size), so it rides
+    // under the looser time bar too.
+    gate.at_most("peak_rss_kb", baseline.num("peak_rss_kb"), fresh.num("peak_rss_kb"));
+    // The condensation strategy is the engine default *because* it beats
+    // the FIFO worklist on the corpus; a fresh run that loses that edge
+    // fails outright, whatever the baseline says.
+    let speedup = fresh.num("scc_speedup_over_worklist");
+    gate.row("scc_speedup_over_worklist", 1.0, speedup, speedup >= 1.0);
 
     if gate.failures > 0 {
         eprintln!("\nperf gate FAILED: {} metric(s) regressed", gate.failures);

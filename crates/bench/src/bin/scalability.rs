@@ -24,10 +24,10 @@
 //! reference system — so the gate can compare times across machines of
 //! different speeds (tracked metric = time / calibration).
 
-use sraa_bench::{r_squared, suite_n, Prepared};
+use sraa_bench::{alloc_count, peak_rss_kb, r_squared, suite_n, Prepared};
 use sraa_core::{
-    persist, EngineConfig, GenConfig, ModuleSummaries, SolverKind, SummaryCache, SummaryKeys,
-    VarIndex,
+    persist, EngineConfig, GenConfig, LatticeBackend, ModuleSummaries, SolverKind, SummaryCache,
+    SummaryKeys, VarIndex,
 };
 use sraa_ir::{CallGraph, FuncId, Module};
 use std::fmt::Write as _;
@@ -37,8 +37,17 @@ struct SolverTotals {
     kind: SolverKind,
     total_us: f64,
     total_evals: u64,
+    total_allocs: u64,
     xs: Vec<f64>, // constraints
     ys: Vec<f64>, // best-of-three solve time (µs)
+}
+
+/// Wall clock and allocator pressure of one lattice-store backend, both
+/// solvers combined — the numbers behind the `--lattice` default.
+struct LatticeTotals {
+    backend: LatticeBackend,
+    total_us: f64,
+    total_allocs: u64,
 }
 
 fn main() {
@@ -53,9 +62,14 @@ fn main() {
             kind,
             total_us: 0.0,
             total_evals: 0,
+            total_allocs: 0,
             xs: Vec::new(),
             ys: Vec::new(),
         })
+        .collect();
+    let mut lattices: Vec<LatticeTotals> = LatticeBackend::CONCRETE
+        .into_iter()
+        .map(|backend| LatticeTotals { backend, total_us: 0.0, total_allocs: 0 })
         .collect();
 
     for w in &ws {
@@ -73,14 +87,21 @@ fn main() {
             let mut dt = f64::INFINITY;
             let mut solution = None;
             for _ in 0..3 {
+                let a0 = alloc_count();
                 let t0 = Instant::now();
-                let sol = solver.solve(&sys.constraints, sys.num_vars);
+                let mut sol = solver.solve(&sys.constraints, sys.num_vars);
                 dt = dt.min(t0.elapsed().as_secs_f64() * 1e6);
+                // Allocation counts are deterministic per run; stash the
+                // harness-measured figures in the stats block they
+                // belong to, then read them back for the totals.
+                sol.stats.alloc_count = alloc_count() - a0;
+                sol.stats.peak_rss_kb = peak_rss_kb();
                 solution = Some(sol);
             }
             let solution = solution.expect("ran at least once");
             t.total_us += dt;
             t.total_evals += solution.stats.pops;
+            t.total_allocs += solution.stats.alloc_count;
             t.xs.push(solution.stats.constraints as f64);
             t.ys.push(dt);
             if t.kind == SolverKind::Scc {
@@ -88,6 +109,24 @@ fn main() {
                     *size_hist.entry(sz).or_default() += n;
                 }
             }
+        }
+
+        // Same corpus, pinned lattice backends (default solver): the
+        // measurement behind `LatticeBackend::Auto`'s threshold.
+        let solver = SolverKind::default().solver();
+        for l in &mut lattices {
+            let mut dt = f64::INFINITY;
+            let mut allocs = 0;
+            for _ in 0..3 {
+                let a0 = alloc_count();
+                let t0 = Instant::now();
+                let sol = solver.solve_with(&sys.constraints, sys.num_vars, l.backend);
+                dt = dt.min(t0.elapsed().as_secs_f64() * 1e6);
+                allocs = alloc_count() - a0;
+                std::hint::black_box(sol);
+            }
+            l.total_us += dt;
+            l.total_allocs += allocs;
         }
     }
 
@@ -111,6 +150,20 @@ fn main() {
         "scc vs worklist          : {:.2}x wall-clock, {:.2}x evals (engine default: scc)",
         worklist.total_us / scc.total_us.max(1e-9),
         worklist.total_evals as f64 / scc.total_evals.max(1) as f64
+    );
+    for t in &totals {
+        println!("{:<9} allocations    : {}", t.kind.as_str(), t.total_allocs);
+    }
+    let (arc, dense) = (&lattices[0], &lattices[1]);
+    assert_eq!((arc.backend, dense.backend), (LatticeBackend::Arc, LatticeBackend::Dense));
+    println!(
+        "lattice arc vs dense     : {:.0}µs / {:.0}µs wall-clock ({:.2}x), \
+         {} / {} allocs (scc solver)",
+        arc.total_us,
+        dense.total_us,
+        arc.total_us / dense.total_us.max(1e-9),
+        arc.total_allocs,
+        dense.total_allocs
     );
 
     let total_vars: usize = size_hist.values().sum();
@@ -165,11 +218,13 @@ fn main() {
         &ws.len(),
         total_constraints,
         &totals,
+        &lattices,
         small_pct,
         &size_hist,
         &inter,
         &inc,
         calibration_us,
+        peak_rss_kb(),
     );
     let path = "BENCH_scalability.json";
     match std::fs::write(path, &json) {
@@ -280,8 +335,14 @@ fn incremental_stats() -> IncrementalStats {
         let mut cold = None;
         out.cold_us += best_of_3(&mut || {
             keys = Some(SummaryKeys::compute(&m));
-            cold =
-                Some(ModuleSummaries::compute(&m, &ranges, GenConfig::default(), &index, solver));
+            cold = Some(ModuleSummaries::compute(
+                &m,
+                &ranges,
+                GenConfig::default(),
+                &index,
+                solver,
+                LatticeBackend::Auto,
+            ));
         });
         let (keys, cold) = (keys.expect("ran"), cold.expect("ran"));
 
@@ -298,6 +359,7 @@ fn incremental_stats() -> IncrementalStats {
                 GenConfig::default(),
                 &index,
                 solver,
+                LatticeBackend::Auto,
                 Some(&cache),
             ));
         });
@@ -329,6 +391,13 @@ fn incremental_stats() -> IncrementalStats {
     out
 }
 
+/// Modules below this many functions run the "sharded" warm mode on one
+/// thread: a cache lookup is tens of nanoseconds, so on the small modules
+/// that dominate the suite, thread spawns cost more than the whole walk.
+/// The fan-out only pays for itself when each shard amortizes its spawn
+/// over many lookups.
+const SHARDED_MIN_FUNCTIONS: usize = 64;
+
 /// The sharded warm mode: partition the condensation's *root* components
 /// (no external callers) round-robin across scoped threads; each thread
 /// walks the component DAG below its roots and fetches its members'
@@ -336,7 +405,9 @@ fn incremental_stats() -> IncrementalStats {
 /// shards need no ordering or locking — components reachable from two
 /// shards' roots are fetched twice with identical results, and the merge
 /// is a plain overwrite. Demonstrates that the cache composes with the
-/// scoped-thread parallelism the engine already uses elsewhere.
+/// scoped-thread parallelism the engine already uses elsewhere. Small
+/// modules (below [`SHARDED_MIN_FUNCTIONS`]) take the same walk serially:
+/// identical results, no spawn overhead.
 fn sharded_warm(
     m: &Module,
     keys: &SummaryKeys,
@@ -359,42 +430,47 @@ fn sharded_warm(
         }
     }
     let roots: Vec<usize> = (0..n).filter(|&c| !has_caller[c]).collect();
-    let shards = shards.clamp(1, roots.len().max(1));
+    let shards = if m.num_functions() < SHARDED_MIN_FUNCTIONS {
+        1
+    } else {
+        shards.clamp(1, roots.len().max(1))
+    };
 
-    let per_shard: Vec<Vec<(FuncId, sraa_core::FunctionSummary)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..shards)
-            .map(|t| {
-                let (roots, callee_comps, cond) = (&roots, &callee_comps, &cond);
-                s.spawn(move || {
-                    let mut seen = vec![false; n];
-                    let mut stack: Vec<usize> =
-                        roots.iter().skip(t).step_by(shards).copied().collect();
-                    for &r in &stack {
-                        seen[r] = true;
-                    }
-                    let mut got = Vec::new();
-                    while let Some(c) = stack.pop() {
-                        for &f in cond.members(c) {
-                            let name = &m.function(f).name;
-                            let summary = cache
-                                .lookup(name, keys.of(f))
-                                .expect("unchanged module: every lookup hits")
-                                .clone();
-                            got.push((f, summary));
-                        }
-                        for &d in &callee_comps[c] {
-                            if !seen[d] {
-                                seen[d] = true;
-                                stack.push(d);
-                            }
-                        }
-                    }
-                    got
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("warm shard panicked")).collect()
-    });
+    // One shard's walk: everything reachable from its slice of the roots.
+    let walk = |t: usize| {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = roots.iter().skip(t).step_by(shards).copied().collect();
+        for &r in &stack {
+            seen[r] = true;
+        }
+        let mut got = Vec::new();
+        while let Some(c) = stack.pop() {
+            for &f in cond.members(c) {
+                let name = &m.function(f).name;
+                let summary = cache
+                    .lookup(name, keys.of(f))
+                    .expect("unchanged module: every lookup hits")
+                    .clone();
+                got.push((f, summary));
+            }
+            for &d in &callee_comps[c] {
+                if !seen[d] {
+                    seen[d] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        got
+    };
+
+    let per_shard: Vec<Vec<(FuncId, sraa_core::FunctionSummary)>> = if shards == 1 {
+        vec![walk(0)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards).map(|t| s.spawn(move || walk(t))).collect();
+            handles.into_iter().map(|h| h.join().expect("warm shard panicked")).collect()
+        })
+    };
 
     let mut merged: Vec<Option<sraa_core::FunctionSummary>> = vec![None; m.num_functions()];
     for shard in per_shard {
@@ -436,16 +512,19 @@ fn render_json(
     workloads: &usize,
     total_constraints: u64,
     totals: &[SolverTotals],
+    lattices: &[LatticeTotals],
     small_pct: f64,
     size_hist: &std::collections::BTreeMap<usize, usize>,
     inter: &InterprocStats,
     inc: &IncrementalStats,
     calibration_us: f64,
+    peak_rss_kb: u64,
 ) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"workloads\": {workloads},");
     let _ = writeln!(s, "  \"total_constraints\": {total_constraints},");
     let _ = writeln!(s, "  \"calibration_us\": {calibration_us:.1},");
+    let _ = writeln!(s, "  \"peak_rss_kb\": {peak_rss_kb},");
     s.push_str("  \"interproc\": {\n");
     let _ = writeln!(s, "    \"workloads\": {},", inter.workloads);
     let _ = writeln!(s, "    \"intra_no_alias\": {},", inter.intra_no_alias);
@@ -471,16 +550,29 @@ fn render_json(
         let _ = writeln!(
             s,
             "    {{\"name\": \"{}\", \"total_us\": {:.1}, \"total_evals\": {}, \
-             \"evals_per_constraint\": {:.4}, \"r2_time_vs_constraints\": {:.4}}}{}",
+             \"total_allocs\": {}, \"evals_per_constraint\": {:.4}, \
+             \"r2_time_vs_constraints\": {:.4}}}{}",
             t.kind.as_str(),
             t.total_us,
             t.total_evals,
+            t.total_allocs,
             t.total_evals as f64 / total_constraints.max(1) as f64,
             r_squared(&t.xs, &t.ys),
             if i + 1 < totals.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n");
+    s.push_str("  \"lattice\": {\n");
+    let _ = writeln!(s, "    \"arc_us\": {:.1},", lattices[0].total_us);
+    let _ = writeln!(s, "    \"dense_us\": {:.1},", lattices[1].total_us);
+    let _ = writeln!(s, "    \"arc_allocs\": {},", lattices[0].total_allocs);
+    let _ = writeln!(s, "    \"dense_allocs\": {},", lattices[1].total_allocs);
+    let _ = writeln!(
+        s,
+        "    \"dense_speedup_over_arc\": {:.4}",
+        lattices[0].total_us / lattices[1].total_us.max(1e-9)
+    );
+    s.push_str("  },\n");
     let _ = writeln!(
         s,
         "  \"scc_speedup_over_worklist\": {:.4},",

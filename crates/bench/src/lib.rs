@@ -25,6 +25,62 @@ use sraa_alias::{
 use sraa_core::{EngineConfig, GenConfig};
 use sraa_ir::{Module, ModuleStats};
 use sraa_synth::Workload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed global allocator that counts allocations, so the
+/// harness can report allocator pressure alongside wall clock: allocation
+/// counts are deterministic where timings are noisy, which makes them the
+/// tighter regression signal for the perf gate.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations (including reallocs) since process start. Subtract
+/// two readings to count the allocations of a region of code.
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
 
 /// A compiled workload with every analysis constructed, ready to query.
 pub struct Prepared {
@@ -116,6 +172,23 @@ pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use sraa_core::SolverKind;
+
+    #[test]
+    fn alloc_counter_observes_heap_traffic() {
+        let before = alloc_count();
+        let v: Vec<u64> = (0..1024).collect();
+        std::hint::black_box(&v);
+        assert!(alloc_count() > before, "a fresh Vec must register at least one allocation");
+    }
+
+    #[test]
+    fn peak_rss_is_reported_where_procfs_exists() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0, "a running process has a nonzero high-water mark");
+        } else {
+            assert_eq!(peak_rss_kb(), 0, "no procfs: the helper must degrade to 0, not panic");
+        }
+    }
 
     #[test]
     fn r_squared_of_perfect_line_is_one() {

@@ -160,6 +160,11 @@ type CallRecord = (FuncId, Vec<Option<VarId>>);
 /// test corpus.
 const PARALLEL_MIN_FUNCTIONS: usize = 8;
 
+/// Even past the function-count floor, a module of tiny functions does
+/// not amortize thread spawns: require this much total work (instruction
+/// count across the module) before fanning out.
+const PARALLEL_MIN_INSTRUCTIONS: usize = 2_000;
+
 /// Generates the constraint system for a module in e-SSA form.
 pub fn generate(module: &Module, ranges: &RangeAnalysis, cfg: GenConfig) -> ConstraintSystem {
     let index = VarIndex::new(module);
@@ -326,7 +331,14 @@ fn generate_per_function(
     };
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(num_funcs);
-    if !allow_parallel || num_funcs < PARALLEL_MIN_FUNCTIONS || threads < 2 {
+    let big_enough = num_funcs >= PARALLEL_MIN_FUNCTIONS && {
+        // O(#functions) pre-pass; both thresholds must pass so that a
+        // pile of one-liner functions stays on the serial path.
+        let insts: usize =
+            (0..num_funcs).map(|i| module.function(FuncId::from_index(i)).num_insts()).sum();
+        insts >= PARALLEL_MIN_INSTRUCTIONS
+    };
+    if !allow_parallel || !big_enough || threads < 2 {
         return (0..num_funcs).map(gen_one).collect();
     }
 
@@ -803,14 +815,23 @@ mod tests {
     fn parallel_generation_matches_the_forced_serial_pass() {
         let mut src = String::new();
         for i in 0..(PARALLEL_MIN_FUNCTIONS * 3) {
-            src.push_str(&format!(
-                "int f{i}(int* v, int n) {{ int s = 0; \
-                 for (int k = 0; k < n; k++) s += v[k]; return s + {i}; }}\n"
-            ));
+            src.push_str(&format!("int f{i}(int* v, int n) {{ int s = 0; "));
+            // Enough straight-line body to clear the instruction floor
+            // module-wide, so the fan-out really engages.
+            for j in 0..24 {
+                src.push_str(&format!("s += v[{j}]; "));
+            }
+            src.push_str(&format!("for (int k = 0; k < n; k++) s += v[k]; return s + {i}; }}\n"));
         }
         src.push_str("int main() { int a[4]; return f0(a, 4) + f1(a, 3); }\n");
         let (m, ranges) = prepare(&src);
         assert!(m.num_functions() >= PARALLEL_MIN_FUNCTIONS);
+        let total: usize =
+            (0..m.num_functions()).map(|i| m.function(FuncId::from_index(i)).num_insts()).sum();
+        assert!(
+            total >= PARALLEL_MIN_INSTRUCTIONS,
+            "test module too small to engage the fan-out ({total} insts)"
+        );
         let index = VarIndex::new(&m);
         let serial = generate_serial(&m, &ranges, GenConfig::default(), &index);
         for _ in 0..3 {

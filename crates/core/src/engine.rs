@@ -22,9 +22,10 @@
 
 use crate::analysis::{derived_pointer, strip_copies};
 use crate::constraints::{self, Constraint, GenConfig};
-use crate::fast_solver::solve_fast;
+use crate::fast_solver::solve_fast_with;
+use crate::lattice::LatticeBackend;
 use crate::persist;
-use crate::solver::{solve, Solution, SolveStats};
+use crate::solver::{solve_with, Solution, SolveStats};
 use crate::summary::{CacheOutcome, ModuleSummaries};
 use crate::var_index::VarIndex;
 use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
@@ -40,8 +41,20 @@ pub trait FixpointSolver: Sync {
     /// Short name used in reports and CLI flags.
     fn name(&self) -> &'static str;
 
-    /// Solves the constraint system over `num_vars` variables.
-    fn solve(&self, constraints: &[Constraint], num_vars: usize) -> Solution;
+    /// Solves the constraint system over `num_vars` variables with an
+    /// explicit lattice-store backend.
+    fn solve_with(
+        &self,
+        constraints: &[Constraint],
+        num_vars: usize,
+        lattice: LatticeBackend,
+    ) -> Solution;
+
+    /// Solves with the measured-default backend selection
+    /// ([`LatticeBackend::Auto`]).
+    fn solve(&self, constraints: &[Constraint], num_vars: usize) -> Solution {
+        self.solve_with(constraints, num_vars, LatticeBackend::Auto)
+    }
 }
 
 /// The paper's §3.4 FIFO worklist (baseline fidelity).
@@ -53,8 +66,13 @@ impl FixpointSolver for WorklistSolver {
         "worklist"
     }
 
-    fn solve(&self, constraints: &[Constraint], num_vars: usize) -> Solution {
-        solve(constraints, num_vars)
+    fn solve_with(
+        &self,
+        constraints: &[Constraint],
+        num_vars: usize,
+        lattice: LatticeBackend,
+    ) -> Solution {
+        solve_with(constraints, num_vars, lattice)
     }
 }
 
@@ -67,8 +85,13 @@ impl FixpointSolver for SccSolver {
         "scc"
     }
 
-    fn solve(&self, constraints: &[Constraint], num_vars: usize) -> Solution {
-        solve_fast(constraints, num_vars)
+    fn solve_with(
+        &self,
+        constraints: &[Constraint],
+        num_vars: usize,
+        lattice: LatticeBackend,
+    ) -> Solution {
+        solve_fast_with(constraints, num_vars, lattice)
     }
 }
 
@@ -186,6 +209,11 @@ pub struct EngineConfig {
     pub solver: SolverKind,
     /// Interprocedural mode (default: [`Contextuality::Intra`]).
     pub contextuality: Contextuality,
+    /// Lattice-store backend for the solvers (default:
+    /// [`LatticeBackend::Auto`] — pick by measured constraint-count
+    /// threshold). Exposed as the `--lattice {auto,arc,dense}` CLI flag;
+    /// every backend yields byte-identical output.
+    pub lattice: LatticeBackend,
     /// Path of the persistent summary cache (the CLI's `--summary-cache`).
     /// Only meaningful with [`Contextuality::Summaries`] — the cache
     /// stores interprocedural summaries. When set, the engine reads the
@@ -208,6 +236,12 @@ impl EngineConfig {
     pub fn with_summary_cache(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.contextuality = Contextuality::Summaries;
         self.summary_cache = Some(path.into());
+        self
+    }
+
+    /// This configuration with an explicit lattice-store backend.
+    pub fn with_lattice(mut self, lattice: LatticeBackend) -> Self {
+        self.lattice = lattice;
         self
     }
 }
@@ -236,6 +270,7 @@ pub struct DisambiguationEngine {
     ranges: RangeAnalysis,
     cfg: GenConfig,
     solver: SolverKind,
+    lattice: LatticeBackend,
     /// Interprocedural summaries, when built with
     /// [`Contextuality::Summaries`].
     summaries: Option<ModuleSummaries>,
@@ -259,6 +294,7 @@ impl Clone for DisambiguationEngine {
             ranges: self.ranges.clone(),
             cfg: self.cfg,
             solver: self.solver,
+            lattice: self.lattice,
             summaries: self.summaries.clone(),
             cache: std::array::from_fn(|i| {
                 Mutex::new(self.cache[i].lock().expect("cache poisoned").clone())
@@ -304,7 +340,14 @@ impl DisambiguationEngine {
         let summaries = match cfg.contextuality {
             Contextuality::Intra => None,
             Contextuality::Summaries => match &cfg.summary_cache {
-                None => Some(ModuleSummaries::compute(module, ranges, cfg.gen, &index, solver)),
+                None => Some(ModuleSummaries::compute(
+                    module,
+                    ranges,
+                    cfg.gen,
+                    &index,
+                    solver,
+                    cfg.lattice,
+                )),
                 Some(path) => {
                     let cache = match persist::load(path, cfg.gen) {
                         Ok(cache) => Some(cache),
@@ -324,6 +367,7 @@ impl DisambiguationEngine {
                         cfg.gen,
                         &index,
                         solver,
+                        cfg.lattice,
                         cache.as_ref(),
                     );
                     if cache.is_none() {
@@ -359,7 +403,7 @@ impl DisambiguationEngine {
             }
         };
         let solve_t0 = std::time::Instant::now();
-        let mut solution = solver.solve(&sys.constraints, sys.num_vars);
+        let mut solution = solver.solve_with(&sys.constraints, sys.num_vars, cfg.lattice);
 
         // Parameter-pair refinement (see `GenConfig::param_pairs`): when
         // every internal call site orders two arguments, the corresponding
@@ -395,7 +439,7 @@ impl DisambiguationEngine {
                 if !added {
                     break;
                 }
-                solution = solver.solve(&sys.constraints, sys.num_vars);
+                solution = solver.solve_with(&sys.constraints, sys.num_vars, cfg.lattice);
             }
         }
 
@@ -414,6 +458,7 @@ impl DisambiguationEngine {
             ranges: ranges.clone(),
             cfg: cfg.gen,
             solver: cfg.solver,
+            lattice: cfg.lattice,
             summaries,
             cache: fresh_cache(),
         }
@@ -422,6 +467,13 @@ impl DisambiguationEngine {
     /// The strategy this engine solved with.
     pub fn solver_kind(&self) -> SolverKind {
         self.solver
+    }
+
+    /// The lattice-store backend this engine was configured with (before
+    /// `Auto` resolution — the backend never changes the answers, only
+    /// the representation the solvers iterate on).
+    pub fn lattice_backend(&self) -> LatticeBackend {
+        self.lattice
     }
 
     /// The interprocedural mode this engine was built with.

@@ -34,16 +34,39 @@
 //! measures the effect; `EXPERIMENTS.md` records the observed speed-ups.
 
 use crate::constraints::Constraint;
-use crate::lt_set::{eval, LtSet};
+use crate::lattice::{
+    ArcStore, ComponentCtx, DenseStore, LatticeBackend, LatticeStore, ResolvedBackend,
+};
 use crate::solver::{Solution, SolveStats};
-use std::collections::HashSet;
 
 /// Solves the constraint system over `num_vars` variables by SCC
-/// condensation. Produces the same fixpoint as [`solve`](crate::solve),
-/// in the same [`Solution`] representation; `stats.pops` counts the
-/// constraint evaluations spent (exactly one per constraint on acyclic
-/// systems).
+/// condensation, with the [`LatticeBackend::Auto`] storage. Produces the
+/// same fixpoint as [`solve`](crate::solve), in the same [`Solution`]
+/// representation; `stats.pops` counts the constraint evaluations spent
+/// (exactly one per constraint on acyclic systems).
 pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> Solution {
+    solve_fast_with(constraints, num_vars, LatticeBackend::Auto)
+}
+
+/// [`solve_fast`] with an explicit lattice storage backend. The backend
+/// never changes the result, the statistics, or the evaluation schedule —
+/// only the memory layout the fixpoint is computed in.
+pub fn solve_fast_with(
+    constraints: &[Constraint],
+    num_vars: usize,
+    lattice: LatticeBackend,
+) -> Solution {
+    match lattice.resolve(constraints.len()) {
+        ResolvedBackend::Arc => solve_fast_impl(constraints, num_vars, ArcStore::new(num_vars)),
+        ResolvedBackend::Dense => solve_fast_impl(constraints, num_vars, DenseStore::new(num_vars)),
+    }
+}
+
+fn solve_fast_impl<S: LatticeStore>(
+    constraints: &[Constraint],
+    num_vars: usize,
+    mut store: S,
+) -> Solution {
     let mut stats =
         SolveStats { constraints: constraints.len(), variables: num_vars, ..Default::default() };
 
@@ -60,25 +83,87 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> Solution {
         defining[c.defined().index()] = ci as u32;
     }
 
-    // Dependency edges in CSR form: constraint ci depends on the
-    // constraints defining the variables it reads. Flat arrays instead of
-    // one Vec per node — graph construction is the fixed cost the SCC
-    // strategy pays over the worklist, so it must stay cheap.
+    // Topological peel of the acyclic bulk. `final_[v]` means LT(v) can
+    // no longer change: its defining constraint was evaluated, or it has
+    // no defining constraint at all (it stays ⊤ until the freeze). Each
+    // sweep walks the still-pending constraints in index order —
+    // constraint generation emits definitions before most uses, so the
+    // first sweep resolves nearly everything, in the cache-friendly
+    // order the constraints are laid out in. Constraints inside cycles —
+    // and everything downstream of a cycle — never become ready and fall
+    // through to the condensation below; the sweep cap bounds the
+    // quadratic worst case of an adversarially reverse-sorted system
+    // (Tarjan handles whatever is left, it is merely slower).
+    let mut final_: Vec<bool> = defining.iter().map(|&d| d == NO_DEF).collect();
+    const SWEEP_CAP: usize = 8;
+    let mut pending: Vec<u32> = Vec::new();
+    let eval = |ci: u32, stats: &mut SolveStats, store: &mut S, final_: &mut Vec<bool>| {
+        stats.pops += 1;
+        stats.sccs += 1; // each peeled constraint is its own component
+        let c = &constraints[ci as usize];
+        store.update(c);
+        final_[c.defined().index()] = true;
+    };
+    for (ci, c) in constraints.iter().enumerate() {
+        if c.reads().iter().all(|r| final_[r.index()]) {
+            eval(ci as u32, &mut stats, &mut store, &mut final_);
+        } else {
+            pending.push(ci as u32);
+        }
+    }
+    for _ in 1..SWEEP_CAP {
+        if pending.is_empty() {
+            break;
+        }
+        let before = pending.len();
+        let mut next = Vec::with_capacity(pending.len());
+        for &ci in &pending {
+            if constraints[ci as usize].reads().iter().all(|r| final_[r.index()]) {
+                eval(ci, &mut stats, &mut store, &mut final_);
+            } else {
+                next.push(ci);
+            }
+        }
+        pending = next;
+        if pending.len() == before {
+            break; // no progress: everything left is cyclic or downstream
+        }
+    }
+    if pending.is_empty() {
+        return store.freeze(stats);
+    }
+
+    // Residual dependency edges (constraint → constraints it reads),
+    // restricted to the unresolved nodes: finalised reads impose no
+    // ordering.
+    let mut active = vec![false; constraints.len()];
+    for &ci in &pending {
+        active[ci as usize] = true;
+    }
     let deps = {
-        let mut offsets = Vec::with_capacity(constraints.len() + 1);
+        let mut offsets = vec![0u32; constraints.len() + 1];
         let mut edges = Vec::new();
-        offsets.push(0u32);
-        for c in constraints {
-            edges.extend(c.reads().iter().map(|r| defining[r.index()]).filter(|&d| d != NO_DEF));
-            offsets.push(edges.len() as u32);
+        for &ci in &pending {
+            edges.extend(
+                constraints[ci as usize]
+                    .reads()
+                    .iter()
+                    .filter(|r| !final_[r.index()])
+                    .map(|r| defining[r.index()])
+                    .filter(|&d| d != NO_DEF),
+            );
+            offsets[ci as usize + 1] = edges.len() as u32;
+        }
+        // `pending` is sorted, so a prefix-max pass turns the sparse row
+        // ends into cumulative offsets for the inactive rows too.
+        for i in 0..constraints.len() {
+            offsets[i + 1] = offsets[i + 1].max(offsets[i]);
         }
         Csr { offsets, edges }
     };
 
-    let sccs = tarjan_sccs(&deps);
-    stats.sccs = sccs.len();
-
-    let mut sets: Vec<LtSet> = vec![LtSet::Top; num_vars];
+    let sccs = tarjan_sccs(&deps, |ci| active[ci as usize]);
+    stats.sccs += sccs.len();
 
     // Tarjan emits components dependencies-first, so by the time a
     // component is processed every external read is final.
@@ -86,10 +171,11 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> Solution {
         let comp = sccs.row(k as u32);
         let cyclic = comp.len() > 1 || deps.row(comp[0]).contains(&comp[0]);
         if !cyclic {
-            let ci = comp[0] as usize;
+            // Acyclic (downstream of a cycle): one evaluation suffices;
+            // dependents sit in later components and read the stored
+            // result directly, so the change flag is irrelevant here.
             stats.pops += 1;
-            let c = &constraints[ci];
-            sets[c.defined().index()] = eval(c, &sets);
+            store.update(&constraints[comp[0] as usize]);
             continue;
         }
         stats.cyclic_sccs += 1;
@@ -103,10 +189,11 @@ pub fn solve_fast(constraints: &[Constraint], num_vars: usize) -> Solution {
             continue;
         }
 
-        solve_component(constraints, comp, &defining, &mut sets, &mut stats);
+        let cx = ComponentCtx::build(constraints, comp, &defining);
+        store.solve_component(&cx, &mut stats);
     }
 
-    Solution::freeze(sets, stats)
+    store.freeze(stats)
 }
 
 /// Compressed sparse rows: `edges[offsets[i]..offsets[i+1]]` are node
@@ -126,57 +213,17 @@ impl Csr {
     }
 }
 
-/// Local worklist iteration restricted to one cyclic component. External
-/// dependencies are final; members start at ⊤ and descend to the local
-/// greatest fixpoint — chaotic iteration over a sub-system, which composed
-/// in topological order yields the global greatest fixpoint.
-fn solve_component(
-    constraints: &[Constraint],
-    comp: &[u32],
-    defining: &[u32],
-    sets: &mut [LtSet],
-    stats: &mut SolveStats,
-) {
-    let members: HashSet<u32> = comp.iter().copied().collect();
-    // dependents within the component: defining constraint → readers.
-    let mut dependents: std::collections::HashMap<u32, Vec<u32>> = Default::default();
-    for &ci in comp {
-        for r in constraints[ci as usize].reads() {
-            let d = defining[r.index()];
-            if d != u32::MAX && members.contains(&d) {
-                dependents.entry(d).or_default().push(ci);
-            }
-        }
-    }
-
-    let mut worklist: std::collections::VecDeque<u32> = comp.iter().copied().collect();
-    let mut on_list: HashSet<u32> = members.clone();
-    while let Some(ci) = worklist.pop_front() {
-        on_list.remove(&ci);
-        stats.pops += 1;
-        let c = &constraints[ci as usize];
-        let x = c.defined().index();
-        let new = eval(c, sets);
-        if new != sets[x] {
-            sets[x] = new;
-            for &d in dependents.get(&ci).map(Vec::as_slice).unwrap_or(&[]) {
-                if on_list.insert(d) {
-                    worklist.push_back(d);
-                }
-            }
-        }
-    }
-}
-
 /// Iterative Tarjan over the constraint dependency graph (`deps.row(c)`
-/// lists the constraints `c` reads from). Components are emitted
-/// dependencies-first — the processing order [`solve_fast`] relies on —
-/// into one flat CSR (row `k` = component `k`'s members): singleton
-/// components dominate real systems, so one `Vec` per component would be
-/// the allocator's hottest path. Iterative so that chain-shaped systems
-/// (tens of thousands of constraints deep) cannot overflow the call
-/// stack.
-fn tarjan_sccs(deps: &Csr) -> Csr {
+/// lists the constraints `c` reads from), restricted to the nodes where
+/// `active` holds — the Kahn peel in [`solve_fast`] resolves the acyclic
+/// bulk first, so only the residual needs condensing. Components are
+/// emitted dependencies-first — the processing order [`solve_fast`]
+/// relies on — into one flat CSR (row `k` = component `k`'s members):
+/// singleton components dominate real systems, so one `Vec` per
+/// component would be the allocator's hottest path. Iterative so that
+/// chain-shaped systems (tens of thousands of constraints deep) cannot
+/// overflow the call stack.
+fn tarjan_sccs(deps: &Csr, active: impl Fn(u32) -> bool) -> Csr {
     const UNVISITED: u32 = u32::MAX;
     let n = deps.len();
     let mut index = vec![UNVISITED; n];
@@ -184,13 +231,13 @@ fn tarjan_sccs(deps: &Csr) -> Csr {
     let mut on_stack = vec![false; n];
     let mut stack: Vec<u32> = Vec::new();
     let mut next_index = 0u32;
-    let mut sccs = Csr { offsets: vec![0], edges: Vec::with_capacity(n) };
+    let mut sccs = Csr { offsets: vec![0], edges: Vec::new() };
 
     // Explicit DFS frames: (node, next edge position to explore).
     let mut frames: Vec<(u32, usize)> = Vec::new();
 
     for root in 0..n as u32 {
-        if index[root as usize] != UNVISITED {
+        if !active(root) || index[root as usize] != UNVISITED {
             continue;
         }
         frames.push((root, 0));
@@ -348,12 +395,14 @@ mod tests {
 
     #[test]
     fn copy_shares_the_allocation() {
+        // Allocation sharing is an Arc-backend property, so pin the
+        // backend (Auto may resolve to dense via env or size).
         let cs = vec![
             C::Init { x: v(0) },
             C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
             C::Copy { x: v(2), source: v(1) },
         ];
-        let fast = solve_fast(&cs, 3);
+        let fast = solve_fast_with(&cs, 3, LatticeBackend::Arc);
         assert!(Arc::ptr_eq(fast.set_arc(v(1)), fast.set_arc(v(2))));
     }
 
@@ -413,7 +462,7 @@ mod tests {
         // 0 → (nothing); 1 reads 0; 2 reads 1. deps edges point at
         // dependencies, so emission must be [0], [1], [2].
         let deps = csr(vec![vec![], vec![0], vec![1]]);
-        let sccs = scc_rows(&tarjan_sccs(&deps));
+        let sccs = scc_rows(&tarjan_sccs(&deps, |_| true));
         assert_eq!(sccs, vec![vec![0], vec![1], vec![2]]);
     }
 
@@ -421,7 +470,7 @@ mod tests {
     fn tarjan_groups_cycles() {
         // 1 ⇄ 2 cycle, 3 reads the cycle, 0 independent.
         let deps = csr(vec![vec![], vec![2], vec![1], vec![1]]);
-        let sccs = scc_rows(&tarjan_sccs(&deps));
+        let sccs = scc_rows(&tarjan_sccs(&deps, |_| true));
         let cycle = sccs.iter().find(|c| c.len() == 2).expect("cycle component");
         let mut cycle = cycle.clone();
         cycle.sort_unstable();

@@ -1,0 +1,936 @@
+//! Pluggable lattice storage — the `LatticeStore` abstraction both
+//! fixpoint solvers propagate through.
+//!
+//! The solvers in [`crate::solver`] and [`crate::fast_solver`] decide
+//! *scheduling* only (FIFO worklist vs SCC topological order). Everything
+//! about how `LT` sets are *represented* lives here, behind one small
+//! contract: a store holds the current set of every variable, re-evaluates
+//! one constraint at a time ([`LatticeStore::update`]) and reports whether
+//! the defined variable's set actually changed ([`ChangeResult`]), so a
+//! solver re-enqueues successors only on observed change. Two backends
+//! implement the contract:
+//!
+//! * [`ArcStore`] — the historical representation: one `Arc<[u32]>` per
+//!   variable ([`LtSet`]). `Copy` constraints share allocations and
+//!   solutions are cheap to clone, but every `Union` evaluation allocates
+//!   a fresh slice, which dominates solve time on large systems.
+//! * [`DenseStore`] — a flat CSR-style arena: all explicit sets live in
+//!   one contiguous `Vec<u32>` addressed by per-variable `(offset, len)`.
+//!   Because the lattice only descends (`new ⊆ old`, paper Theorem 3.7),
+//!   a re-evaluation can almost always shrink a set *in place*; fresh
+//!   arena space is appended only on a variable's first explicit write.
+//!   Inside large cyclic components the store switches to fixed-width
+//!   bitset rows ([`sraa_ir::BitMatrix`]) over the component's candidate
+//!   element universe, turning the hot `Union`/`Inter` evaluations into
+//!   word-parallel operations. ⊤ stays symbolic in both backends.
+//!
+//! Both backends compute the identical greatest fixpoint with the
+//! identical evaluation schedule — `stats.pops`, frozen-⊤ counts and all
+//! printed output are byte-for-byte the same (differentially tested in
+//! `tests/solvers.rs` and the proptests below); the backend is purely a
+//! memory-layout/performance knob, selected by [`LatticeBackend`]
+//! (`--lattice {auto,arc,dense}` on the CLI, `SRAA_LATTICE` in the
+//! environment).
+
+use crate::constraints::Constraint;
+use crate::lt_set::{decreases, eval, LtSet};
+use crate::solver::{Solution, SolveStats};
+use sraa_ir::BitMatrix;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Outcome of re-evaluating one constraint: did the defined variable's
+/// set change? Solvers re-enqueue dependents only on `Changed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChangeResult {
+    /// The set shrank (or left ⊤): successors must be revisited.
+    Changed,
+    /// The fixpoint for this constraint is locally stable.
+    Unchanged,
+}
+
+impl ChangeResult {
+    /// `true` for [`ChangeResult::Changed`].
+    #[inline]
+    pub fn changed(self) -> bool {
+        matches!(self, ChangeResult::Changed)
+    }
+}
+
+/// Which lattice storage the solvers use. A pure performance knob: both
+/// backends produce identical solutions, statistics and printed output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LatticeBackend {
+    /// Measured default: [`LatticeBackend::Dense`] for systems of at
+    /// least [`DENSE_MIN_CONSTRAINTS`] constraints, [`LatticeBackend::Arc`]
+    /// below (tiny systems fit in cache either way and the shared-`Arc`
+    /// solutions are cheaper to clone). Overridable via the
+    /// `SRAA_LATTICE={arc,dense}` environment variable.
+    #[default]
+    Auto,
+    /// Shared `Arc<[u32]>` slices, one per variable.
+    Arc,
+    /// Flat CSR arena + bitset rows inside large cyclic components.
+    Dense,
+}
+
+/// Below this constraint count `Auto` picks the `Arc` backend.
+///
+/// Measured on the `scalability` suite (best-of-3 per size, see
+/// `BENCH_baseline.json`): the dense arena wins clearly from a few
+/// hundred constraints up (no per-`Union` allocation), while below that
+/// the two are within noise of each other and the shared-slice solution
+/// clones cheaper. 256 sits comfortably inside the indifference band.
+pub const DENSE_MIN_CONSTRAINTS: usize = 256;
+
+/// The backend `Auto` resolved to, after consulting `SRAA_LATTICE` and
+/// the size heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ResolvedBackend {
+    Arc,
+    Dense,
+}
+
+fn env_override() -> Option<LatticeBackend> {
+    // Cached: `resolve` runs once per solve and summary computation runs
+    // one solve per SCC of the call graph.
+    static CACHE: OnceLock<Option<LatticeBackend>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("SRAA_LATTICE").ok().and_then(|s| match LatticeBackend::parse(&s) {
+            Some(LatticeBackend::Auto) | None => None, // unknown values fall back to the heuristic
+            some => some,
+        })
+    })
+}
+
+impl LatticeBackend {
+    /// Every backend, in presentation order.
+    pub const ALL: [LatticeBackend; 3] =
+        [LatticeBackend::Auto, LatticeBackend::Arc, LatticeBackend::Dense];
+
+    /// The two concrete representations (what differential tests iterate).
+    pub const CONCRETE: [LatticeBackend; 2] = [LatticeBackend::Arc, LatticeBackend::Dense];
+
+    /// Parses a CLI-style name (`"auto"` / `"arc"` / `"dense"`).
+    pub fn parse(s: &str) -> Option<LatticeBackend> {
+        match s {
+            "auto" => Some(LatticeBackend::Auto),
+            "arc" => Some(LatticeBackend::Arc),
+            "dense" => Some(LatticeBackend::Dense),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LatticeBackend::Auto => "auto",
+            LatticeBackend::Arc => "arc",
+            LatticeBackend::Dense => "dense",
+        }
+    }
+
+    /// Resolves `Auto` against the environment override and the measured
+    /// size threshold.
+    pub(crate) fn resolve(self, num_constraints: usize) -> ResolvedBackend {
+        match self {
+            LatticeBackend::Arc => ResolvedBackend::Arc,
+            LatticeBackend::Dense => ResolvedBackend::Dense,
+            LatticeBackend::Auto => match env_override() {
+                Some(LatticeBackend::Arc) => ResolvedBackend::Arc,
+                Some(LatticeBackend::Dense) => ResolvedBackend::Dense,
+                _ if num_constraints >= DENSE_MIN_CONSTRAINTS => ResolvedBackend::Dense,
+                _ => ResolvedBackend::Arc,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for LatticeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Storage of the per-variable `LT` sets during a solve. Implementations
+/// own the representation; solvers own the schedule.
+pub(crate) trait LatticeStore {
+    /// Re-evaluates `c`'s right-hand side over the current sets and
+    /// stores the result for `c.defined()`, reporting whether it changed.
+    fn update(&mut self, c: &Constraint) -> ChangeResult;
+
+    /// Chaotic iteration over one cyclic component, to the local greatest
+    /// fixpoint. The default is the representation-agnostic worklist
+    /// ([`iterate_component`]); backends may substitute an equivalent
+    /// accelerated evaluation, but must preserve the exact schedule (the
+    /// `pops` counter is part of the printed output).
+    fn solve_component(&mut self, cx: &ComponentCtx<'_>, stats: &mut SolveStats) {
+        iterate_component(self, cx, stats);
+    }
+
+    /// Final step: demote residual ⊤ to ∅ (the paper's freeze) and
+    /// package the [`Solution`].
+    fn freeze(self, stats: SolveStats) -> Solution
+    where
+        Self: Sized;
+}
+
+/// One cyclic component of the constraint dependency graph, with its
+/// member-local dependents in CSR form. Built once per component by the
+/// SCC solver and interpreted by whichever store solves it.
+pub(crate) struct ComponentCtx<'a> {
+    /// The full constraint system.
+    pub constraints: &'a [Constraint],
+    /// Member constraint indices, in Tarjan emission order.
+    pub comp: &'a [u32],
+    dep_offsets: Vec<u32>,
+    dep_edges: Vec<u32>,
+}
+
+impl<'a> ComponentCtx<'a> {
+    /// Builds the member-local dependents CSR: for the member at local
+    /// index `l`, `dependents(l)` lists the local indices of members that
+    /// read the variable `l` defines, in member-traversal order (the same
+    /// order a per-member `Vec` push would produce, so the propagation
+    /// schedule is reproducible).
+    pub(crate) fn build(constraints: &'a [Constraint], comp: &'a [u32], defining: &[u32]) -> Self {
+        let k = comp.len();
+        let mut order: Vec<(u32, u32)> =
+            comp.iter().enumerate().map(|(l, &ci)| (ci, l as u32)).collect();
+        order.sort_unstable();
+        let local_of = |ci: u32| -> Option<u32> {
+            order.binary_search_by_key(&ci, |&(c, _)| c).ok().map(|p| order[p].1)
+        };
+
+        let mut dep_offsets = vec![0u32; k + 1];
+        for &ci in comp {
+            for r in constraints[ci as usize].reads() {
+                let d = defining[r.index()];
+                if d != u32::MAX {
+                    if let Some(ld) = local_of(d) {
+                        dep_offsets[ld as usize + 1] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            dep_offsets[i + 1] += dep_offsets[i];
+        }
+        let mut cursor: Vec<u32> = dep_offsets[..k].to_vec();
+        let mut dep_edges = vec![0u32; dep_offsets[k] as usize];
+        for (l, &ci) in comp.iter().enumerate() {
+            for r in constraints[ci as usize].reads() {
+                let d = defining[r.index()];
+                if d != u32::MAX {
+                    if let Some(ld) = local_of(d) {
+                        dep_edges[cursor[ld as usize] as usize] = l as u32;
+                        cursor[ld as usize] += 1;
+                    }
+                }
+            }
+        }
+        Self { constraints, comp, dep_offsets, dep_edges }
+    }
+
+    /// Local indices of the members reading the variable member `l`
+    /// defines.
+    #[inline]
+    fn dependents(&self, l: usize) -> &[u32] {
+        &self.dep_edges[self.dep_offsets[l] as usize..self.dep_offsets[l + 1] as usize]
+    }
+}
+
+/// The representation-agnostic component iteration: a FIFO worklist over
+/// local member indices, seeded in emission order, re-enqueueing only the
+/// dependents of constraints whose set changed. Index-based scratch
+/// throughout — no hashing on the solver's hottest path.
+pub(crate) fn iterate_component<S: LatticeStore + ?Sized>(
+    store: &mut S,
+    cx: &ComponentCtx<'_>,
+    stats: &mut SolveStats,
+) {
+    let k = cx.comp.len();
+    let mut worklist: VecDeque<u32> = (0..k as u32).collect();
+    let mut on_list = vec![true; k];
+    while let Some(l) = worklist.pop_front() {
+        on_list[l as usize] = false;
+        stats.pops += 1;
+        if store.update(&cx.constraints[cx.comp[l as usize] as usize]).changed() {
+            for &d in cx.dependents(l as usize) {
+                if !on_list[d as usize] {
+                    on_list[d as usize] = true;
+                    worklist.push_back(d);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arc backend
+// ---------------------------------------------------------------------------
+
+/// The shared-slice backend: the historical `Vec<LtSet>` with the
+/// [`eval`] transfer functions of [`crate::lt_set`].
+pub(crate) struct ArcStore {
+    sets: Vec<LtSet>,
+}
+
+impl ArcStore {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        Self { sets: vec![LtSet::Top; num_vars] }
+    }
+}
+
+impl LatticeStore for ArcStore {
+    fn update(&mut self, c: &Constraint) -> ChangeResult {
+        let x = c.defined().index();
+        let new = eval(c, &self.sets);
+        if new != self.sets[x] {
+            debug_assert!(
+                decreases(&self.sets[x], &new),
+                "LT(v{x}) must only shrink: {:?} -> {new:?}",
+                self.sets[x]
+            );
+            self.sets[x] = new;
+            ChangeResult::Changed
+        } else {
+            ChangeResult::Unchanged
+        }
+    }
+
+    fn freeze(self, stats: SolveStats) -> Solution {
+        Solution::freeze(self.sets, stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense backend
+// ---------------------------------------------------------------------------
+
+/// Sentinel offset marking a variable still at symbolic ⊤.
+const TOP_OFF: u32 = u32::MAX;
+
+/// Inside a cyclic component of at least this many constraints the dense
+/// store evaluates over bitset rows instead of sorted slices. Components
+/// below the threshold are too small to amortise building the element
+/// universe and the row matrices.
+const BITSET_MIN_MEMBERS: usize = 16;
+
+/// Upper bound on `members × universe` bits for the bitset path; above it
+/// (degenerate, enormous components) the generic slice iteration is used
+/// so memory stays proportional to the solution.
+const BITSET_BIT_BUDGET: usize = 1 << 25;
+
+/// The flat backend: every explicit set is a `(offset, len)` window into
+/// one contiguous arena. First writes append; later writes shrink in
+/// place (the lattice only descends). ⊤ is the offset sentinel.
+pub(crate) struct DenseStore {
+    off: Vec<u32>,
+    len: Vec<u32>,
+    arena: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl DenseStore {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        Self {
+            off: vec![TOP_OFF; num_vars],
+            len: vec![0; num_vars],
+            // Most variables get a small first write; one reallocation-
+            // amortised arena replaces per-set allocations entirely.
+            arena: Vec::with_capacity(num_vars.saturating_mul(2)),
+            scratch: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn is_top(&self, v: usize) -> bool {
+        self.off[v] == TOP_OFF
+    }
+
+    #[inline]
+    fn slice_bounds(&self, v: usize) -> (usize, usize) {
+        (self.off[v] as usize, self.len[v] as usize)
+    }
+
+    fn make_top(&mut self, x: usize) -> ChangeResult {
+        if self.off[x] == TOP_OFF {
+            ChangeResult::Unchanged
+        } else {
+            // Cannot happen under descending evaluation, but keep the
+            // store total: mirror what the Arc backend would do.
+            self.off[x] = TOP_OFF;
+            self.len[x] = 0;
+            ChangeResult::Changed
+        }
+    }
+
+    /// Commits `self.scratch` as the new set of `x` if it differs from
+    /// the current one.
+    fn commit(&mut self, x: usize) -> ChangeResult {
+        if self.off[x] != TOP_OFF {
+            let (o, l) = self.slice_bounds(x);
+            if self.arena[o..o + l] == self.scratch[..] {
+                return ChangeResult::Unchanged;
+            }
+        }
+        self.commit_changed(x)
+    }
+
+    /// Commits `self.scratch` as the new set of `x`, known to differ.
+    fn commit_changed(&mut self, x: usize) -> ChangeResult {
+        debug_assert!(self.scratch.windows(2).all(|w| w[0] < w[1]), "sets are sorted + dedup'd");
+        #[cfg(debug_assertions)]
+        if self.off[x] != TOP_OFF {
+            let (o, l) = self.slice_bounds(x);
+            let old = &self.arena[o..o + l];
+            debug_assert!(
+                self.scratch.iter().all(|e| old.binary_search(e).is_ok()),
+                "LT(v{x}) must only shrink"
+            );
+        }
+        let n = self.scratch.len();
+        if self.off[x] != TOP_OFF && n <= self.len[x] as usize {
+            let o = self.off[x] as usize;
+            self.arena[o..o + n].copy_from_slice(&self.scratch);
+        } else {
+            let o = self.arena.len();
+            assert!(o + n < TOP_OFF as usize, "dense lattice arena overflow");
+            self.arena.extend_from_slice(&self.scratch);
+            self.off[x] = o as u32;
+        }
+        self.len[x] = n as u32;
+        ChangeResult::Changed
+    }
+
+    /// Appends the current elements of `v` (nothing for ⊤) to `out`.
+    fn extend_with_set(&self, out: &mut Vec<u32>, v: usize) {
+        if self.off[v] != TOP_OFF {
+            let (o, l) = self.slice_bounds(v);
+            out.extend_from_slice(&self.arena[o..o + l]);
+        }
+    }
+
+    /// Word-parallel component evaluation: project the component onto its
+    /// candidate element universe, give every member a bitset row, and
+    /// run the exact worklist schedule of [`iterate_component`] with
+    /// `Union`/`Inter` as word operations. External inputs are final
+    /// (topological order), so they fold into per-member static rows.
+    fn solve_component_bitset(&mut self, cx: &ComponentCtx<'_>, stats: &mut SolveStats) {
+        let k = cx.comp.len();
+
+        // Member variables → local index, for internal/external reads.
+        let mut member_vars: Vec<(u32, u32)> = cx
+            .comp
+            .iter()
+            .enumerate()
+            .map(|(l, &ci)| (cx.constraints[ci as usize].defined().raw(), l as u32))
+            .collect();
+        member_vars.sort_unstable();
+        let local_of_var = |raw: u32| -> Option<u32> {
+            member_vars.binary_search_by_key(&raw, |&(v, _)| v).ok().map(|p| member_vars[p].1)
+        };
+
+        // Candidate element universe: explicit `Union` elements plus
+        // every element of every external (final) source set. Internal
+        // sets are unions/intersections of these, so nothing else can
+        // ever appear.
+        let mut universe: Vec<u32> = Vec::new();
+        for &ci in cx.comp {
+            match &cx.constraints[ci as usize] {
+                Constraint::Init { .. } => {}
+                Constraint::Copy { source, .. } => {
+                    if local_of_var(source.raw()).is_none() {
+                        self.extend_with_set(&mut universe, source.index());
+                    }
+                }
+                Constraint::Union { elems, sources, .. } => {
+                    universe.extend(elems.iter().map(|e| e.raw()));
+                    for s in sources {
+                        if local_of_var(s.raw()).is_none() {
+                            self.extend_with_set(&mut universe, s.index());
+                        }
+                    }
+                }
+                Constraint::Inter { sources, .. } => {
+                    for s in sources {
+                        if local_of_var(s.raw()).is_none() {
+                            self.extend_with_set(&mut universe, s.index());
+                        }
+                    }
+                }
+            }
+        }
+        universe.sort_unstable();
+        universe.dedup();
+        let u = universe.len();
+        if k.saturating_mul(u) > BITSET_BIT_BUDGET {
+            return iterate_component(self, cx, stats);
+        }
+        let bit_of = |raw: u32| -> usize {
+            universe.binary_search(&raw).expect("universe covers every candidate element")
+        };
+
+        // Per-member evaluation plan. `Copy`/`Init` canonicalise to
+        // `Union` (of one source / of nothing).
+        #[derive(Clone, Copy)]
+        enum MKind {
+            Union,
+            Inter,
+        }
+        struct Member {
+            kind: MKind,
+            /// `Union`: some external source is ⊤ — the result is pinned ⊤.
+            forced_top: bool,
+            /// `Inter`: the static row holds the ∩ of external explicit
+            /// sources (absent when every external source is ⊤).
+            has_static: bool,
+            edges: (u32, u32),
+        }
+
+        let mut statics = BitMatrix::new(k, u);
+        let words = statics.words_per_row();
+        let mut vals = BitMatrix::new(k, u);
+        let mut top = vec![true; k];
+        let mut internal: Vec<u32> = Vec::new();
+        let mut scratch_row: Vec<u64> = vec![0; words];
+        let mut members: Vec<Member> = Vec::with_capacity(k);
+
+        for (l, &ci) in cx.comp.iter().enumerate() {
+            let start = internal.len() as u32;
+            let (kind, forced_top, has_static) = match &cx.constraints[ci as usize] {
+                Constraint::Init { .. } => (MKind::Union, false, false),
+                Constraint::Copy { source, .. } => {
+                    let mut forced = false;
+                    if let Some(ls) = local_of_var(source.raw()) {
+                        internal.push(ls);
+                    } else if self.is_top(source.index()) {
+                        forced = true;
+                    } else {
+                        let (o, n) = self.slice_bounds(source.index());
+                        for &e in &self.arena[o..o + n] {
+                            statics.insert(l, bit_of(e));
+                        }
+                    }
+                    (MKind::Union, forced, false)
+                }
+                Constraint::Union { elems, sources, .. } => {
+                    let mut forced = false;
+                    for e in elems {
+                        statics.insert(l, bit_of(e.raw()));
+                    }
+                    for s in sources {
+                        if let Some(ls) = local_of_var(s.raw()) {
+                            internal.push(ls);
+                        } else if self.is_top(s.index()) {
+                            forced = true;
+                        } else {
+                            let (o, n) = self.slice_bounds(s.index());
+                            for &e in &self.arena[o..o + n] {
+                                statics.insert(l, bit_of(e));
+                            }
+                        }
+                    }
+                    (MKind::Union, forced, false)
+                }
+                Constraint::Inter { sources, .. } => {
+                    let mut has_static = false;
+                    for s in sources {
+                        if let Some(ls) = local_of_var(s.raw()) {
+                            internal.push(ls);
+                        } else if !self.is_top(s.index()) {
+                            scratch_row.fill(0);
+                            let (o, n) = self.slice_bounds(s.index());
+                            for &e in &self.arena[o..o + n] {
+                                let b = bit_of(e);
+                                scratch_row[b / 64] |= 1u64 << (b % 64);
+                            }
+                            if has_static {
+                                for (a, b) in statics.row_mut(l).iter_mut().zip(&scratch_row) {
+                                    *a &= b;
+                                }
+                            } else {
+                                statics.row_mut(l).copy_from_slice(&scratch_row);
+                                has_static = true;
+                            }
+                        }
+                        // External ⊤ sources are the identity of ∩.
+                    }
+                    (MKind::Inter, false, has_static)
+                }
+            };
+            members.push(Member {
+                kind,
+                forced_top,
+                has_static,
+                edges: (start, internal.len() as u32),
+            });
+        }
+
+        // The exact schedule of `iterate_component`, over rows.
+        let mut worklist: VecDeque<u32> = (0..k as u32).collect();
+        let mut on_list = vec![true; k];
+        while let Some(l) = worklist.pop_front() {
+            let li = l as usize;
+            on_list[li] = false;
+            stats.pops += 1;
+            let m = &members[li];
+            let ints = &internal[m.edges.0 as usize..m.edges.1 as usize];
+            let new_top = match m.kind {
+                MKind::Union => {
+                    if m.forced_top || ints.iter().any(|&s| top[s as usize]) {
+                        true
+                    } else {
+                        scratch_row.copy_from_slice(statics.row(li));
+                        for &s in ints {
+                            for (a, b) in scratch_row.iter_mut().zip(vals.row(s as usize)) {
+                                *a |= b;
+                            }
+                        }
+                        false
+                    }
+                }
+                MKind::Inter => {
+                    let mut started = m.has_static;
+                    if started {
+                        scratch_row.copy_from_slice(statics.row(li));
+                    }
+                    for &s in ints {
+                        if top[s as usize] {
+                            continue; // ⊤ is the identity of ∩
+                        }
+                        if started {
+                            for (a, b) in scratch_row.iter_mut().zip(vals.row(s as usize)) {
+                                *a &= b;
+                            }
+                        } else {
+                            scratch_row.copy_from_slice(vals.row(s as usize));
+                            started = true;
+                        }
+                    }
+                    !started
+                }
+            };
+            let changed =
+                if new_top { !top[li] } else { top[li] || vals.row(li) != &scratch_row[..] };
+            if changed {
+                top[li] = new_top;
+                if !new_top {
+                    vals.row_mut(li).copy_from_slice(&scratch_row);
+                }
+                for &d in cx.dependents(li) {
+                    if !on_list[d as usize] {
+                        on_list[d as usize] = true;
+                        worklist.push_back(d);
+                    }
+                }
+            }
+        }
+
+        // Write the stabilised rows back into the arena. Members still ⊤
+        // keep their sentinel (the store never wrote them).
+        for (l, &ci) in cx.comp.iter().enumerate() {
+            if top[l] {
+                continue;
+            }
+            let x = cx.constraints[ci as usize].defined().index();
+            self.scratch.clear();
+            for (w, &word) in vals.row(l).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    self.scratch.push(universe[w * 64 + tz]);
+                    bits &= bits - 1;
+                }
+            }
+            self.commit_changed(x);
+        }
+    }
+}
+
+impl LatticeStore for DenseStore {
+    fn update(&mut self, c: &Constraint) -> ChangeResult {
+        let x = c.defined().index();
+        match c {
+            Constraint::Init { .. } => {
+                self.scratch.clear();
+                self.commit(x)
+            }
+            Constraint::Copy { source, .. } => {
+                let s = source.index();
+                if self.is_top(s) {
+                    return self.make_top(x);
+                }
+                let (so, sl) = self.slice_bounds(s);
+                if !self.is_top(x) {
+                    let (xo, xl) = self.slice_bounds(x);
+                    if self.arena[xo..xo + xl] == self.arena[so..so + sl] {
+                        return ChangeResult::Unchanged;
+                    }
+                }
+                self.scratch.clear();
+                // Split borrows: scratch and arena are disjoint fields.
+                let (so, sl) = self.slice_bounds(s);
+                self.scratch.extend_from_slice(&self.arena[so..so + sl]);
+                self.commit_changed(x)
+            }
+            Constraint::Union { elems, sources, .. } => {
+                if sources.iter().any(|s| self.is_top(s.index())) {
+                    return self.make_top(x); // {x} ∪ ⊤ = ⊤
+                }
+                self.scratch.clear();
+                self.scratch.extend(elems.iter().map(|e| e.raw()));
+                for s in sources {
+                    let (o, l) = self.slice_bounds(s.index());
+                    self.scratch.extend_from_slice(&self.arena[o..o + l]);
+                }
+                self.scratch.sort_unstable();
+                self.scratch.dedup();
+                self.commit(x)
+            }
+            Constraint::Inter { sources, .. } => {
+                debug_assert!(!sources.is_empty(), "empty intersections are generated as Init");
+                // ⊤ is the identity of ∩: seed from the smallest explicit
+                // source so the working set only shrinks.
+                let mut seed: Option<usize> = None;
+                for s in sources {
+                    let si = s.index();
+                    if !self.is_top(si) && seed.is_none_or(|b| self.len[si] < self.len[b]) {
+                        seed = Some(si);
+                    }
+                }
+                let Some(seed) = seed else {
+                    return self.make_top(x); // all sources still ⊤
+                };
+                self.scratch.clear();
+                let (o, l) = self.slice_bounds(seed);
+                self.scratch.extend_from_slice(&self.arena[o..o + l]);
+                for s in sources {
+                    let si = s.index();
+                    if si == seed || self.is_top(si) {
+                        continue;
+                    }
+                    if self.scratch.is_empty() {
+                        break;
+                    }
+                    let (o, l) = self.slice_bounds(si);
+                    intersect_in_place(&mut self.scratch, &self.arena[o..o + l]);
+                }
+                self.commit(x)
+            }
+        }
+    }
+
+    fn solve_component(&mut self, cx: &ComponentCtx<'_>, stats: &mut SolveStats) {
+        if cx.comp.len() >= BITSET_MIN_MEMBERS {
+            self.solve_component_bitset(cx, stats);
+        } else {
+            iterate_component(self, cx, stats);
+        }
+    }
+
+    fn freeze(self, mut stats: SolveStats) -> Solution {
+        let n = self.off.len();
+        let mut frozen = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize =
+            (0..n).map(|i| if self.off[i] == TOP_OFF { 0 } else { self.len[i] as usize }).sum();
+        let mut data = Vec::with_capacity(total);
+        for i in 0..n {
+            if self.off[i] == TOP_OFF {
+                frozen.push(i as u32);
+            } else {
+                let (o, l) = (self.off[i] as usize, self.len[i] as usize);
+                data.extend_from_slice(&self.arena[o..o + l]);
+            }
+            offsets.push(data.len() as u32);
+        }
+        stats.frozen_tops = frozen.len();
+        Solution::from_flat(offsets, data, frozen.into_boxed_slice(), stats)
+    }
+}
+
+/// In-place intersection of a sorted vector with a sorted slice.
+fn intersect_in_place(acc: &mut Vec<u32>, b: &[u32]) {
+    let mut w = 0;
+    let mut j = 0;
+    for i in 0..acc.len() {
+        let v = acc[i];
+        while j < b.len() && b[j] < v {
+            j += 1;
+        }
+        if j < b.len() && b[j] == v {
+            acc[w] = v;
+            w += 1;
+            j += 1;
+        }
+    }
+    acc.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint as C;
+    use crate::var_index::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn vs(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().copied().map(VarId::new).collect()
+    }
+
+    #[test]
+    fn backend_parses_cli_names() {
+        assert_eq!(LatticeBackend::parse("auto"), Some(LatticeBackend::Auto));
+        assert_eq!(LatticeBackend::parse("arc"), Some(LatticeBackend::Arc));
+        assert_eq!(LatticeBackend::parse("dense"), Some(LatticeBackend::Dense));
+        assert_eq!(LatticeBackend::parse("sparse"), None);
+        assert_eq!(LatticeBackend::default(), LatticeBackend::Auto);
+        for b in LatticeBackend::ALL {
+            assert_eq!(LatticeBackend::parse(b.as_str()), Some(b));
+            assert_eq!(format!("{b}"), b.as_str());
+        }
+    }
+
+    #[test]
+    fn explicit_backends_resolve_to_themselves() {
+        for n in [0, 10, 1_000_000] {
+            assert_eq!(LatticeBackend::Arc.resolve(n), ResolvedBackend::Arc);
+            assert_eq!(LatticeBackend::Dense.resolve(n), ResolvedBackend::Dense);
+        }
+    }
+
+    #[test]
+    fn change_result_predicate() {
+        assert!(ChangeResult::Changed.changed());
+        assert!(!ChangeResult::Unchanged.changed());
+    }
+
+    #[test]
+    fn dense_store_shrinks_in_place() {
+        let mut store = DenseStore::new(3);
+        // First write appends.
+        store.scratch = vec![1, 2, 3];
+        assert!(store.commit(0).changed());
+        let arena_len = store.arena.len();
+        // Descending rewrite shrinks in place: no arena growth.
+        store.scratch = vec![2];
+        assert!(store.commit(0).changed());
+        assert_eq!(store.arena.len(), arena_len);
+        assert_eq!(store.len[0], 1);
+        // Identical rewrite is a no-op.
+        store.scratch = vec![2];
+        assert!(!store.commit(0).changed());
+    }
+
+    #[test]
+    fn dense_update_matches_eval_semantics() {
+        // The example 3.4 kernel exercised constraint-by-constraint.
+        let cs = [
+            C::Init { x: v(0) },
+            C::Union { x: v(1), elems: vs(&[0]), sources: vs(&[0]) },
+            C::Inter { x: v(2), sources: vs(&[1, 3]) },
+            C::Union { x: v(3), elems: vs(&[2]), sources: vs(&[2]) },
+        ];
+        let mut dense = DenseStore::new(4);
+        let mut arc = ArcStore::new(4);
+        // Chaotic order, including re-evaluations.
+        for &i in &[0usize, 1, 2, 3, 2, 3, 2, 1, 0, 3, 2] {
+            let d = dense.update(&cs[i]);
+            let a = arc.update(&cs[i]);
+            assert_eq!(d, a, "change results diverge at constraint {i}");
+        }
+        let ds = dense.freeze(SolveStats::default());
+        let as_ = arc.freeze(SolveStats::default());
+        for x in 0..4u32 {
+            assert_eq!(ds.lt_set(v(x)), as_.lt_set(v(x)), "LT({x})");
+            assert_eq!(ds.was_top(v(x)), as_.was_top(v(x)));
+        }
+    }
+
+    #[test]
+    fn intersect_in_place_matches_merge() {
+        let mut acc = vec![1, 3, 5, 7];
+        intersect_in_place(&mut acc, &[2, 3, 4, 7, 9]);
+        assert_eq!(acc, vec![3, 7]);
+        let mut acc = vec![1, 2];
+        intersect_in_place(&mut acc, &[]);
+        assert!(acc.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use crate::fast_solver::solve_fast_with;
+        use crate::solver::solve_with;
+        use crate::test_systems::{grounded_systems, systems};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The dense backend computes the identical solution — sets,
+            /// frozen ⊤s, and the full deterministic statistics (pops
+            /// included: the schedules must match, not just the limits) —
+            /// for both solver strategies.
+            #[test]
+            fn dense_equals_arc((cs, n) in systems()) {
+                for (a, d) in [
+                    (solve_with(&cs, n, LatticeBackend::Arc),
+                     solve_with(&cs, n, LatticeBackend::Dense)),
+                    (solve_fast_with(&cs, n, LatticeBackend::Arc),
+                     solve_fast_with(&cs, n, LatticeBackend::Dense)),
+                ] {
+                    prop_assert_eq!(&a.stats, &d.stats, "stats diverge (pops/sccs/frozen)");
+                    for x in 0..n {
+                        let x = VarId::from_index(x);
+                        prop_assert_eq!(a.lt_set(x), d.lt_set(x), "LT({})", x);
+                        prop_assert_eq!(a.was_top(x), d.was_top(x), "frozen({})", x);
+                    }
+                }
+            }
+
+            /// Same on fully grounded systems (the shape real constraint
+            /// generation produces).
+            #[test]
+            fn dense_equals_arc_grounded((cs, n) in grounded_systems()) {
+                let a = solve_fast_with(&cs, n, LatticeBackend::Arc);
+                let d = solve_fast_with(&cs, n, LatticeBackend::Dense);
+                prop_assert_eq!(&a.stats, &d.stats);
+                for x in 0..n {
+                    let x = VarId::from_index(x);
+                    prop_assert_eq!(a.lt_set(x), d.lt_set(x), "LT({})", x);
+                }
+            }
+        }
+    }
+
+    /// A component big enough to cross `BITSET_MIN_MEMBERS`, so the
+    /// word-parallel path is exercised against the Arc oracle: a ring of
+    /// φ-style `Inter`s threaded through `Union`s, grounded at one entry.
+    #[test]
+    fn large_cycle_uses_bitset_rows_and_agrees() {
+        let k = 3 * BITSET_MIN_MEMBERS as u32;
+        let mut cs = vec![C::Init { x: v(0) }];
+        for i in 0..k {
+            let cur = 1 + 2 * i;
+            let nxt = 1 + 2 * ((i + 1) % k);
+            // cur = φ(ground, around-the-ring); cur+1 = {cur} ∪ cur.
+            cs.push(C::Inter { x: v(cur), sources: vs(&[0, nxt + 1]) });
+            cs.push(C::Union { x: v(cur + 1), elems: vs(&[cur]), sources: vs(&[cur]) });
+        }
+        let n = (1 + 2 * k) as usize;
+        let a = crate::solver::solve_with(&cs, n, LatticeBackend::Arc);
+        let d = crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Dense);
+        let d2 = crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Arc);
+        assert!(d.stats.cyclic_sccs >= 1, "the ring must condense into a cyclic component");
+        assert_eq!(d.stats, d2.stats, "bitset path must keep the exact schedule");
+        for x in 0..n {
+            let x = VarId::from_index(x);
+            assert_eq!(a.lt_set(x), d.lt_set(x), "LT({x})");
+            assert_eq!(a.was_top(x), d.was_top(x));
+        }
+    }
+}

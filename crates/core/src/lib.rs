@@ -45,8 +45,10 @@
 //!    from ⊤, behind the pluggable [`FixpointSolver`] trait: the paper's
 //!    FIFO worklist ([`solver`], [`SolverKind::Worklist`]) or the
 //!    SCC-condensation solver ([`fast_solver`], [`SolverKind::Scc`] — the
-//!    default). Both share the [`LtSet`] algebra and return the same
-//!    [`Solution`]; differential tests prove them interchangeable.
+//!    default). Both propagate change-by-change through a pluggable
+//!    lattice store ([`lattice`], [`LatticeBackend`]): shared `Arc<[u32]>`
+//!    slices or a flat CSR/bitset arena. Every combination returns the
+//!    same [`Solution`]; differential tests prove them interchangeable.
 //! 5. **Disambiguation** (paper Definition 3.11):
 //!    [`no_alias`](DisambiguationEngine::no_alias) — `p1 ∈ LT(p2)` ∨
 //!    `p2 ∈ LT(p1)` (criterion 1), or both derived from one base with
@@ -91,6 +93,7 @@ pub mod analysis;
 pub mod constraints;
 pub mod engine;
 pub mod fast_solver;
+pub mod lattice;
 pub mod lt_set;
 pub mod ondemand;
 pub mod persist;
@@ -106,10 +109,11 @@ pub use engine::{
     Contextuality, DisambiguationEngine, EngineConfig, FixpointSolver, SccSolver, SolverKind,
     WorklistSolver,
 };
-pub use fast_solver::solve_fast;
+pub use fast_solver::{solve_fast, solve_fast_with};
+pub use lattice::{ChangeResult, LatticeBackend};
 pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;
 pub use persist::{PersistError, SummaryCache, SummaryKeys, FORMAT_VERSION};
-pub use solver::{solve, Solution, SolveStats};
+pub use solver::{solve, solve_with, Solution, SolveStats};
 pub use summary::{CacheOutcome, FunctionSummary, ModuleSummaries, SummaryStats};
 pub use var_index::{VarId, VarIndex};

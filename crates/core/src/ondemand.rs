@@ -70,9 +70,13 @@ impl<'a> OnDemandProver<'a> {
         self.visits += 1;
         let my_depth = stack.len();
         stack.push((y, x));
+        // Borrow the constraints through the shared `'a` reference, not
+        // through `self`, so the recursive `prove` calls below need no
+        // per-frame clone of the source lists.
+        let sys = self.sys;
         let (holds, mut lowest) = match self.def_of[x as usize] {
             None => (false, usize::MAX),
-            Some(ci) => match &self.sys.constraints[ci as usize] {
+            Some(ci) => match &sys.constraints[ci as usize] {
                 Constraint::Init { .. } => (false, usize::MAX),
                 Constraint::Copy { source, .. } => {
                     let s = source.raw();
@@ -82,7 +86,6 @@ impl<'a> OnDemandProver<'a> {
                     if elems.contains(&VarId::new(y)) {
                         (true, usize::MAX)
                     } else {
-                        let sources = sources.clone();
                         let mut lowest = usize::MAX;
                         let mut holds = false;
                         for s in sources {
@@ -97,7 +100,6 @@ impl<'a> OnDemandProver<'a> {
                     }
                 }
                 Constraint::Inter { sources, .. } => {
-                    let sources = sources.clone();
                     let mut lowest = usize::MAX;
                     let mut holds = true;
                     for s in sources {

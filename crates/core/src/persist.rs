@@ -377,6 +377,7 @@ mod tests {
             GenConfig::default(),
             &index,
             SolverKind::Scc.solver(),
+            crate::lattice::LatticeBackend::Auto,
         );
         let keys = SummaryKeys::compute(&m);
         (m, sums, keys)

@@ -21,7 +21,8 @@
 //! ∅ so that queries never rely on vacuous facts.
 
 use crate::constraints::Constraint;
-use crate::lt_set::{decreases, empty_arc, eval, LtSet};
+use crate::lattice::{ArcStore, DenseStore, LatticeBackend, LatticeStore, ResolvedBackend};
+use crate::lt_set::{empty_arc, LtSet};
 use crate::var_index::VarId;
 use std::sync::Arc;
 
@@ -67,11 +68,21 @@ pub struct SolveStats {
     pub cache_misses: u32,
     /// Warm-run summary-cache invalidations (entries whose key changed).
     pub cache_invalidated: u32,
+    /// Heap allocations observed over the solve, when a counting
+    /// allocator is installed (the bench harness fills this in; 0 means
+    /// "not measured"). Excluded from equality, like the wall-clock
+    /// fields: the count depends on the measuring harness, not on the
+    /// solution.
+    pub alloc_count: u64,
+    /// Peak resident set size in KiB at the end of the run, as reported
+    /// by the OS (`VmHWM`); filled by the bench harness, 0 when not
+    /// measured. Excluded from equality.
+    pub peak_rss_kb: u64,
 }
 
 impl PartialEq for SolveStats {
     fn eq(&self, other: &Self) -> bool {
-        // Everything but the two timing fields.
+        // Everything but the timing and memory-measurement fields.
         (
             self.constraints,
             self.variables,
@@ -120,11 +131,23 @@ impl SolveStats {
 /// cannot tell the strategies apart (the differential tests insist).
 #[derive(Clone, Debug)]
 pub struct Solution {
-    sets: Vec<Arc<[u32]>>,
+    sets: Sets,
     /// Sorted raw ids that were still ⊤ pre-freeze (dead/ungrounded code).
     frozen: Box<[u32]>,
     /// Solver statistics.
     pub stats: SolveStats,
+}
+
+/// Internal set storage — mirrors the [`LatticeBackend`] the solve ran
+/// with. The query API is representation-agnostic; only the (test-only)
+/// sharing probe can tell the variants apart.
+#[derive(Clone, Debug)]
+enum Sets {
+    /// One shared slice per variable (the Arc backend).
+    Shared(Vec<Arc<[u32]>>),
+    /// One contiguous CSR: `data[offsets[x]..offsets[x+1]]` is `LT(x)`
+    /// (the dense backend, compacted at freeze time).
+    Flat { offsets: Vec<u32>, data: Vec<u32> },
 }
 
 impl Solution {
@@ -144,22 +167,39 @@ impl Solution {
             })
             .collect();
         stats.frozen_tops = frozen.len();
-        Self { sets, frozen: frozen.into_boxed_slice(), stats }
+        Self { sets: Sets::Shared(sets), frozen: frozen.into_boxed_slice(), stats }
+    }
+
+    /// A solution over compacted CSR storage (the dense backend's freeze;
+    /// `stats.frozen_tops` is already set by the caller).
+    pub(crate) fn from_flat(
+        offsets: Vec<u32>,
+        data: Vec<u32>,
+        frozen: Box<[u32]>,
+        stats: SolveStats,
+    ) -> Self {
+        debug_assert_eq!(stats.frozen_tops, frozen.len());
+        Self { sets: Sets::Flat { offsets, data }, frozen, stats }
     }
 
     /// Whether variable `a` is strictly less than `b` (i.e. `a ∈ LT(b)`).
     pub fn less_than(&self, a: VarId, b: VarId) -> bool {
-        self.sets.get(b.index()).is_some_and(|s| s.binary_search(&a.raw()).is_ok())
+        b.index() < self.num_vars() && self.lt_set(b).binary_search(&a.raw()).is_ok()
     }
 
     /// The `LT` set of `x` as a sorted slice of raw [`VarId`]s.
     pub fn lt_set(&self, x: VarId) -> &[u32] {
-        &self.sets[x.index()]
+        match &self.sets {
+            Sets::Shared(sets) => &sets[x.index()],
+            Sets::Flat { offsets, data } => {
+                &data[offsets[x.index()] as usize..offsets[x.index() + 1] as usize]
+            }
+        }
     }
 
     /// The `LT` set of `x` in ascending [`VarId`] order.
     pub fn lt_vars(&self, x: VarId) -> impl Iterator<Item = VarId> + '_ {
-        self.sets[x.index()].iter().map(|&i| VarId::new(i))
+        self.lt_set(x).iter().map(|&i| VarId::new(i))
     }
 
     /// Whether `x` was still ⊤ at the fixpoint (and therefore frozen to
@@ -171,38 +211,78 @@ impl Solution {
 
     /// Number of variables in the solution.
     pub fn num_vars(&self) -> usize {
-        self.sets.len()
+        match &self.sets {
+            Sets::Shared(sets) => sets.len(),
+            Sets::Flat { offsets, .. } => offsets.len() - 1,
+        }
     }
 
     /// The shared allocation behind `LT(x)` — exposed for the sharing
-    /// tests.
+    /// tests, which pin the Arc backend explicitly.
     #[cfg(test)]
     pub(crate) fn set_arc(&self, x: VarId) -> &Arc<[u32]> {
-        &self.sets[x.index()]
+        match &self.sets {
+            Sets::Shared(sets) => &sets[x.index()],
+            Sets::Flat { .. } => panic!("set_arc requires the arc lattice backend"),
+        }
     }
 
     /// Histogram entry: how many variables have an `LT` set of size `n`?
     /// The paper observes that over 95% of the sets hold ≤ 2 elements.
     pub fn size_histogram(&self) -> Vec<(usize, usize)> {
         let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
-        for s in &self.sets {
-            *counts.entry(s.len()).or_default() += 1;
+        for x in 0..self.num_vars() {
+            *counts.entry(self.lt_set(VarId::from_index(x)).len()).or_default() += 1;
         }
         counts.into_iter().collect()
     }
 }
 
 /// Solves the constraint system over `num_vars` variables with the
-/// paper's FIFO worklist. Produces the same fixpoint as
+/// paper's FIFO worklist and the [`LatticeBackend::Auto`] storage.
+/// Produces the same fixpoint as
 /// [`solve_fast`](crate::fast_solver::solve_fast).
 pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
-    let mut sets: Vec<LtSet> = vec![LtSet::Top; num_vars];
+    solve_with(constraints, num_vars, LatticeBackend::Auto)
+}
 
-    // dependents[v] = indexes of constraints whose RHS reads LT(v).
-    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+/// [`solve`] with an explicit lattice storage backend. The backend never
+/// changes the result, the statistics, or the evaluation schedule — only
+/// the memory layout the fixpoint is computed in.
+pub fn solve_with(
+    constraints: &[Constraint],
+    num_vars: usize,
+    lattice: LatticeBackend,
+) -> Solution {
+    match lattice.resolve(constraints.len()) {
+        ResolvedBackend::Arc => solve_impl(constraints, num_vars, ArcStore::new(num_vars)),
+        ResolvedBackend::Dense => solve_impl(constraints, num_vars, DenseStore::new(num_vars)),
+    }
+}
+
+fn solve_impl<S: LatticeStore>(
+    constraints: &[Constraint],
+    num_vars: usize,
+    mut store: S,
+) -> Solution {
+    // dependents[v] = indexes of constraints whose RHS reads LT(v), in
+    // CSR form (two counting passes; the nested-Vec equivalent is the
+    // worklist solver's single biggest allocation cost).
+    let mut dep_offsets = vec![0u32; num_vars + 1];
+    for c in constraints {
+        for r in c.reads() {
+            dep_offsets[r.index() + 1] += 1;
+        }
+    }
+    for i in 0..num_vars {
+        dep_offsets[i + 1] += dep_offsets[i];
+    }
+    let mut cursor: Vec<u32> = dep_offsets[..num_vars].to_vec();
+    let mut dep_edges = vec![0u32; dep_offsets[num_vars] as usize];
     for (ci, c) in constraints.iter().enumerate() {
         for r in c.reads() {
-            dependents[r.index()].push(ci as u32);
+            dep_edges[cursor[r.index()] as usize] = ci as u32;
+            cursor[r.index()] += 1;
         }
     }
 
@@ -217,16 +297,9 @@ pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
         on_list[ci as usize] = false;
         stats.pops += 1;
         let c = &constraints[ci as usize];
-        let x = c.defined().index();
-        let new = eval(c, &sets);
-        if new != sets[x] {
-            debug_assert!(
-                decreases(&sets[x], &new),
-                "LT(v{x}) must only shrink: {:?} -> {new:?}",
-                sets[x]
-            );
-            sets[x] = new;
-            for &d in &dependents[x] {
+        if store.update(c).changed() {
+            let x = c.defined().index();
+            for &d in &dep_edges[dep_offsets[x] as usize..dep_offsets[x + 1] as usize] {
                 if !on_list[d as usize] {
                     on_list[d as usize] = true;
                     worklist.push_back(d);
@@ -235,7 +308,7 @@ pub fn solve(constraints: &[Constraint], num_vars: usize) -> Solution {
         }
     }
 
-    Solution::freeze(sets, stats)
+    store.freeze(stats)
 }
 
 #[cfg(test)]

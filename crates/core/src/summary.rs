@@ -52,6 +52,7 @@
 
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::engine::FixpointSolver;
+use crate::lattice::LatticeBackend;
 use crate::persist::{SummaryCache, SummaryKeys};
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{CallGraph, FuncId, InstKind, Module, Value};
@@ -148,8 +149,9 @@ impl ModuleSummaries {
         cfg: GenConfig,
         index: &VarIndex,
         solver: &dyn FixpointSolver,
+        lattice: LatticeBackend,
     ) -> Self {
-        Self::compute_inner(module, ranges, cfg, index, solver, false, None).0
+        Self::compute_inner(module, ranges, cfg, index, solver, lattice, false, None).0
     }
 
     /// [`ModuleSummaries::compute`] with a **warm path**: components whose
@@ -170,19 +172,22 @@ impl ModuleSummaries {
         cfg: GenConfig,
         index: &VarIndex,
         solver: &dyn FixpointSolver,
+        lattice: LatticeBackend,
         cache: Option<&SummaryCache>,
     ) -> (Self, SummaryKeys, CacheOutcome) {
         let (sums, keys, outcome) =
-            Self::compute_inner(module, ranges, cfg, index, solver, true, cache);
+            Self::compute_inner(module, ranges, cfg, index, solver, lattice, true, cache);
         (sums, keys.expect("requested above"), outcome)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compute_inner(
         module: &Module,
         ranges: &RangeAnalysis,
         cfg: GenConfig,
         index: &VarIndex,
         solver: &dyn FixpointSolver,
+        lattice: LatticeBackend,
         want_keys: bool,
         cache: Option<&SummaryCache>,
     ) -> (Self, Option<SummaryKeys>, CacheOutcome) {
@@ -245,7 +250,7 @@ impl ModuleSummaries {
             loop {
                 let raw = constraints::generate_scoped(module, ranges, cfg, index, members, &sums);
                 let local: Vec<Constraint> = raw.iter().map(|c| space.remap(c)).collect();
-                let solution = solver.solve(&local, space.len());
+                let solution = solver.solve_with(&local, space.len(), lattice);
                 sums.stats.solves += 1;
                 let mut changed = false;
                 for &f in members {
@@ -394,6 +399,7 @@ mod tests {
             GenConfig::default(),
             &index,
             SolverKind::Scc.solver(),
+            LatticeBackend::Auto,
         );
         (m, sums)
     }
@@ -532,7 +538,14 @@ mod tests {
         let (ranges, _) = sraa_essa::transform_module(&mut m);
         let index = VarIndex::new(&m);
         let solver = SolverKind::Scc.solver();
-        let cold = ModuleSummaries::compute(&m, &ranges, GenConfig::default(), &index, solver);
+        let cold = ModuleSummaries::compute(
+            &m,
+            &ranges,
+            GenConfig::default(),
+            &index,
+            solver,
+            LatticeBackend::Auto,
+        );
         let keys = SummaryKeys::compute(&m);
         let cache = persist::from_bytes(
             &persist::to_bytes(&m, &cold, &keys, GenConfig::default()),
@@ -546,6 +559,7 @@ mod tests {
             GenConfig::default(),
             &index,
             solver,
+            LatticeBackend::Auto,
             Some(&cache),
         );
         assert_eq!(warm_keys, keys, "keys must not depend on who builds the condensation");
@@ -564,6 +578,7 @@ mod tests {
             GenConfig::default(),
             &index,
             solver,
+            LatticeBackend::Auto,
             None,
         );
         assert_eq!(cold2, cold);
@@ -589,6 +604,7 @@ mod tests {
             GenConfig::default(),
             &index,
             SolverKind::Scc.solver(),
+            LatticeBackend::Auto,
         );
         let b = ModuleSummaries::compute(
             &m,
@@ -596,6 +612,7 @@ mod tests {
             GenConfig::default(),
             &index,
             SolverKind::Worklist.solver(),
+            LatticeBackend::Auto,
         );
         assert_eq!(a, b);
     }

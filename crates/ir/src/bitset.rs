@@ -124,6 +124,93 @@ impl DenseBitSet {
     }
 }
 
+/// A matrix of fixed-width bit rows over one contiguous `u64` arena.
+///
+/// This is the row-major companion of [`DenseBitSet`]: `rows` sets drawn
+/// from one universe `0..universe`, all sharing a single allocation so a
+/// solver iterating a strongly connected component touches one cache-warm
+/// block instead of per-set allocations. Rows are exposed as raw `&[u64]`
+/// words so callers can run word-parallel union/intersection between rows
+/// (via a scratch row — two rows of the same matrix cannot be borrowed
+/// mutably at once).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    universe: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-empty matrix of `rows` sets over the universe `0..universe`.
+    pub fn new(rows: usize, universe: usize) -> Self {
+        let words_per_row = universe.div_ceil(64);
+        Self { rows, universe, words_per_row, words: vec![0; words_per_row * rows] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Universe size shared by every row.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Words backing each row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Row `r` as raw words (bit `i` of the row ↔ element `i`).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable raw words of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Inserts element `i` into row `r`; returns `true` if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, r: usize, i: usize) -> bool {
+        assert!(i < self.universe, "{i} outside universe {}", self.universe);
+        let w = &mut self.row_mut(r)[i / 64];
+        let bit = 1u64 << (i % 64);
+        let was = *w & bit != 0;
+        *w |= bit;
+        !was
+    }
+
+    /// Tests membership of element `i` in row `r`.
+    #[inline]
+    pub fn contains(&self, r: usize, i: usize) -> bool {
+        assert!(i < self.universe, "{i} outside universe {}", self.universe);
+        self.row(r)[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Elements of row `r` in increasing order.
+    pub fn row_elems(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(r).iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + tz)
+            })
+        })
+    }
+}
+
 /// Iterator over the elements of a [`DenseBitSet`].
 #[derive(Debug)]
 pub struct Iter<'a> {
@@ -208,6 +295,48 @@ mod tests {
         assert!(d.difference_with(&b));
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
         assert!(!a.union_with(&i), "union with subset must not change the set");
+    }
+
+    #[test]
+    fn bit_matrix_rows_are_independent_sets() {
+        let mut m = BitMatrix::new(3, 130);
+        assert!(m.insert(0, 0));
+        assert!(m.insert(0, 129));
+        assert!(!m.insert(0, 0), "re-insert reports no change");
+        assert!(m.insert(2, 64));
+        assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(2, 64));
+        assert!(!m.contains(1, 0) && !m.contains(0, 64));
+        assert_eq!(m.row_elems(0).collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(m.row_elems(1).count(), 0);
+        assert_eq!(m.row_elems(2).collect::<Vec<_>>(), vec![64]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.universe(), 130);
+        assert_eq!(m.words_per_row(), 3);
+    }
+
+    #[test]
+    fn bit_matrix_word_rows_support_bulk_ops() {
+        let mut m = BitMatrix::new(2, 100);
+        for i in [1usize, 5, 64, 70] {
+            m.insert(0, i);
+        }
+        for i in [5usize, 64, 99] {
+            m.insert(1, i);
+        }
+        // Word-parallel union via a scratch row, the solver's access pattern.
+        let mut scratch: Vec<u64> = m.row(0).to_vec();
+        for (a, b) in scratch.iter_mut().zip(m.row(1)) {
+            *a |= b;
+        }
+        m.row_mut(0).copy_from_slice(&scratch);
+        assert_eq!(m.row_elems(0).collect::<Vec<_>>(), vec![1, 5, 64, 70, 99]);
+    }
+
+    #[test]
+    fn bit_matrix_zero_universe() {
+        let m = BitMatrix::new(4, 0);
+        assert_eq!(m.row(3), &[] as &[u64]);
+        assert_eq!(m.row_elems(0).count(), 0);
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub mod stats;
 pub mod types;
 pub mod verifier;
 
-pub use bitset::DenseBitSet;
+pub use bitset::{BitMatrix, DenseBitSet};
 pub use builder::FunctionBuilder;
 pub use callgraph::{CallGraph, Condensation};
 pub use cfg::Cfg;

@@ -13,8 +13,10 @@
 //!
 //! The analysis-driven subcommands (`eval`, `lt`, `pdg`, `opt`) accept
 //! `--solver {worklist,scc}` (default `scc`) to pick the engine's fixpoint
-//! strategy; both produce identical answers, so the flag is a performance
-//! knob and a differential-testing hook. They also accept `--interproc`,
+//! strategy and `--lattice {auto,arc,dense}` (default `auto`) to pick the
+//! solvers' lattice-store backend; every combination produces
+//! byte-identical output, so both flags are performance knobs and
+//! differential-testing hooks. They also accept `--interproc`,
 //! which switches the engine to bottom-up interprocedural summaries
 //! ([`Contextuality::Summaries`]) so strict-inequality facts cross call
 //! boundaries — strictly more `no-alias` verdicts, never fewer — and
@@ -33,7 +35,7 @@ use sraa::alias::{
     SteensgaardAnalysis, StrictInequalityAa,
 };
 use sraa::ir::{InstKind, Interpreter, ModuleStats};
-use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, SolverKind};
+use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, LatticeBackend, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -60,6 +62,8 @@ fn main() {
                  \n\
                  \n  --solver {{worklist,scc}}     fixpoint strategy for\
                  \n                              eval/lt/pdg/opt (default scc)\
+                 \n  --lattice {{auto,arc,dense}}  lattice-store backend for\
+                 \n                              eval/lt/pdg/opt (default auto)\
                  \n  --interproc                 bottom-up call summaries for\
                  \n                              eval/lt/pdg/opt (default intra)\
                  \n  --summary-cache <path>      persist summaries between runs;\
@@ -72,9 +76,10 @@ fn main() {
     exit(code);
 }
 
-/// Extracts `--solver <kind>`, `--interproc` and `--summary-cache <path>`
-/// from `args`, returning the remaining arguments and the chosen
-/// [`EngineConfig`] knobs (defaults: [`SolverKind::Scc`],
+/// Extracts `--solver <kind>`, `--lattice <backend>`, `--interproc` and
+/// `--summary-cache <path>` from `args`, returning the remaining
+/// arguments and the chosen [`EngineConfig`] knobs (defaults:
+/// [`SolverKind::Scc`], [`LatticeBackend::Auto`],
 /// [`Contextuality::Intra`], no cache). `--summary-cache` implies
 /// `--interproc` — the cache stores interprocedural summaries.
 fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32> {
@@ -86,6 +91,14 @@ fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32
             return Err(2);
         };
         cfg.solver = k;
+    }
+    let (rest, lattice) = take_value_flag(&rest, "--lattice")?;
+    if let Some(value) = lattice {
+        let Some(b) = LatticeBackend::parse(&value) else {
+            eprintln!("unknown lattice backend `{value}` (expected auto, arc or dense)");
+            return Err(2);
+        };
+        cfg.lattice = b;
     }
     let (rest, interproc) = take_flag(&rest, "--interproc");
     if interproc {
@@ -198,7 +211,8 @@ fn cmd_compile(args: &[String]) -> i32 {
 
 fn cmd_eval(args: &[String]) -> i32 {
     const USAGE: &str =
-        "sraa eval <file.c> [--solver worklist|scc] [--interproc] [--summary-cache <path>]";
+        "sraa eval <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--interproc] \
+         [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -239,8 +253,8 @@ fn cmd_eval(args: &[String]) -> i32 {
 }
 
 fn cmd_lt(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] [--interproc] \
-                         [--summary-cache <path>]";
+    const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] \
+                         [--lattice auto|arc|dense] [--interproc] [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -326,7 +340,8 @@ fn cmd_run(args: &[String]) -> i32 {
 
 fn cmd_pdg(args: &[String]) -> i32 {
     const USAGE: &str =
-        "sraa pdg <file.c> [--solver worklist|scc] [--interproc] [--summary-cache <path>]";
+        "sraa pdg <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--interproc] \
+         [--summary-cache <path>]";
     let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -353,8 +368,8 @@ fn cmd_pdg(args: &[String]) -> i32 {
 }
 
 fn cmd_opt(args: &[String]) -> i32 {
-    const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] [--interproc] \
-                         [--summary-cache <path>]";
+    const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] \
+                         [--lattice auto|arc|dense] [--interproc] [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     let (args, ba_only) = take_flag(&args, "--ba");
     if let Err(code) = reject_unknown_flags(&args, USAGE) {

@@ -138,6 +138,38 @@ fn solver_flag_rejects_unknown_strategies() {
 }
 
 #[test]
+fn lattice_flag_accepts_every_backend_with_identical_output() {
+    let f = tiny_file();
+    let path = f.to_str().unwrap();
+    let auto = sraa(&["lt", path, "main", "--lattice", "auto"]);
+    assert!(auto.status.success(), "stderr: {}", stderr_of(&auto));
+    // Storage is invisible: every backend prints byte-identical sets,
+    // stats and pop counts, and omitting the flag means auto.
+    let bare = sraa(&["lt", path, "main"]);
+    assert_eq!(stdout(&auto), stdout(&bare), "default must be --lattice auto");
+    for backend in ["arc", "dense"] {
+        let out = sraa(&["lt", path, "main", "--lattice", backend]);
+        assert!(out.status.success(), "--lattice {backend}: {}", stderr_of(&out));
+        assert_eq!(stdout(&auto), stdout(&out), "--lattice {backend} changed the output");
+    }
+    // `eval` accepts it too, on both solver strategies.
+    let a = sraa(&["eval", path, "--lattice", "arc", "--solver", "worklist"]);
+    let d = sraa(&["eval", path, "--lattice", "dense", "--solver", "worklist"]);
+    assert!(a.status.success() && d.status.success());
+    assert_eq!(stdout(&a), stdout(&d), "eval tallies must not depend on the backend");
+}
+
+#[test]
+fn lattice_flag_rejects_unknown_backends() {
+    let f = tiny_file();
+    let out = sraa(&["eval", f.to_str().unwrap(), "--lattice", "sparse"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown lattice backend"), "got: {}", stderr_of(&out));
+    let out = sraa(&["eval", f.to_str().unwrap(), "--lattice"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn eval_accepts_solver_flag_with_identical_summary() {
     let f = tiny_file();
     let path = f.to_str().unwrap();

@@ -132,6 +132,7 @@ fn ondemand_prover_agrees_on_summary_systems() {
         GenConfig::default(),
         &index,
         SolverKind::Scc.solver(),
+        sraa_core::LatticeBackend::Auto,
     );
     let sys = sraa_core::generate_with_summaries(&m, &ranges, GenConfig::default(), &index, &sums);
     let solution = sraa_core::solve(&sys.constraints, sys.num_vars);
