@@ -40,7 +40,11 @@
 //! * **hard floors** (fresh run only) — the SCC strategy must beat the
 //!   worklist (`scc_speedup_over_worklist ≥ 1.0`: it is the engine
 //!   default on that argument), and the sharded warm pass must not lose
-//!   to the serial one.
+//!   to the serial one. The wavefront pipeline must likewise not lose to
+//!   its own serial leg (`parallel.speedup_over_serial ≥ 1.0`) — but
+//!   only when the fresh run actually had workers (`parallel.jobs ≥ 2`);
+//!   on a single-core host both legs run the identical serial path and
+//!   the row is informational.
 
 use std::process::exit;
 
@@ -64,6 +68,7 @@ fn main() {
     let fresh = read_doc(fresh_path);
     let (binter, finter) = (baseline.section("interproc"), fresh.section("interproc"));
     let (binc, finc) = (baseline.section("incremental"), fresh.section("incremental"));
+    let (bpar, fpar) = (baseline.section("parallel"), fresh.section("parallel"));
     let mut gate = Gate { failures: 0, tolerance: 1.0 + tolerance_pct / 100.0 };
 
     println!(
@@ -85,6 +90,7 @@ fn main() {
     );
     corpus_ok &= gate.exact("incremental.workloads", binc.num("workloads"), finc.num("workloads"));
     corpus_ok &= gate.exact("incremental.functions", binc.num("functions"), finc.num("functions"));
+    corpus_ok &= gate.exact("parallel.functions", bpar.num("functions"), fpar.num("functions"));
     if !corpus_ok {
         eprintln!(
             "\nthe benchmark corpus differs from the baseline's — if intentional, regenerate \
@@ -179,6 +185,20 @@ fn main() {
         blat.num("dense_us") / bc,
         flat.num("dense_us") / fc,
     );
+    // The intersection-heavy dense microbenchmark guards the vectorised
+    // set kernels specifically.
+    gate.at_most(
+        "dense_inter_us/calibration",
+        baseline.num("dense_inter_us") / bc,
+        fresh.num("dense_inter_us") / fc,
+    );
+    // The wavefront pipeline's serial leg: jobs=1 must stay within noise
+    // of the historical serial path (the scheduler itself may not cost).
+    gate.at_most(
+        "parallel.serial_us/calibration",
+        bpar.num("serial_us") / bc,
+        fpar.num("serial_us") / fc,
+    );
     // Peak RSS is machine-dependent (allocator, page size), so it rides
     // under the looser time bar too.
     gate.at_most("peak_rss_kb", baseline.num("peak_rss_kb"), fresh.num("peak_rss_kb"));
@@ -187,6 +207,20 @@ fn main() {
     // fails outright, whatever the baseline says.
     let speedup = fresh.num("scc_speedup_over_worklist");
     gate.row("scc_speedup_over_worklist", 1.0, speedup, speedup >= 1.0);
+    // The wavefront fan-out must pay for its threads on runs that had
+    // any: with ≥ 2 workers the parallel leg may not lose to the serial
+    // one. On a single-core host both legs run the identical serial
+    // path, so the row is informational there, not a floor.
+    let par_jobs = fpar.num("jobs");
+    let par_speedup = fpar.num("speedup_over_serial");
+    if par_jobs >= 2.0 {
+        gate.row("parallel_speedup_over_serial", 1.0, par_speedup, par_speedup >= 1.0);
+    } else {
+        println!(
+            "{:<34} {:>12} {:>12.3} {:>8}  info (jobs=1: no spare parallelism)",
+            "parallel_speedup_over_serial", "-", par_speedup, "-"
+        );
+    }
 
     if gate.failures > 0 {
         eprintln!("\nperf gate FAILED: {} metric(s) regressed", gate.failures);

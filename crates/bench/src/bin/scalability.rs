@@ -12,9 +12,15 @@
 //!   counts), summary facts/solves, and build-time overhead;
 //! * the incremental engine over the same family — cold summary build vs
 //!   a warm run against a just-serialized cache (`warm_us`, `hit_rate`),
-//!   plus a **sharded** warm mode that partitions the call-graph
-//!   condensation's root components across scoped threads to show the
-//!   cache composes with parallelism.
+//!   plus the same warm run at `jobs > 1` through the engine's wavefront
+//!   scheduler (`sharded_warm_us`) to show the cache composes with
+//!   parallelism;
+//! * the wavefront-parallel summary pipeline on a wide call graph —
+//!   `jobs = 1` vs `jobs = N` wall clock (`parallel_speedup_over_serial`;
+//!   the host's parallelism is recorded so the gate only enforces the
+//!   floor where threads exist);
+//! * the dense backend's `Inter` hot path on a deterministic
+//!   intersection-heavy system (`dense_inter_us`).
 //!
 //! Besides the human-readable table, the run emits machine-readable
 //! `BENCH_scalability.json` in the working directory so CI can track the
@@ -26,12 +32,25 @@
 
 use sraa_bench::{alloc_count, peak_rss_kb, r_squared, suite_n, Prepared};
 use sraa_core::{
-    persist, EngineConfig, GenConfig, LatticeBackend, ModuleSummaries, SolverKind, SummaryCache,
-    SummaryKeys, VarIndex,
+    persist, Constraint, EngineConfig, GenConfig, Jobs, LatticeBackend, ModuleSummaries,
+    SolverKind, SummaryKeys, VarId, VarIndex,
 };
-use sraa_ir::{CallGraph, FuncId, Module};
 use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use std::time::Instant;
+
+/// The jobs count the parallel legs run at: `SRAA_JOBS` if set, else 4
+/// clamped to the host's available parallelism. The clamp keeps the
+/// measurement honest — a 1-core host would only measure spawn overhead
+/// at jobs=4 — and `parallel_jobs` lands in the JSON so the gate knows
+/// whether the speedup floor is meaningful on the machine that produced
+/// the numbers.
+fn bench_jobs() -> usize {
+    match Jobs::from_env() {
+        Some(j) => j.get(),
+        None => 4.min(std::thread::available_parallelism().map_or(1, NonZeroUsize::get)),
+    }
+}
 
 struct SolverTotals {
     kind: SolverKind,
@@ -213,6 +232,24 @@ fn main() {
         inc.hit_rate * 100.0
     );
 
+    let par = parallel_stats();
+    println!();
+    println!(
+        "parallel summary pipeline (wide module, {} functions): \
+         jobs=1 {:.0}µs → jobs={} {:.0}µs ({:.2}x)",
+        par.functions,
+        par.serial_us,
+        par.jobs,
+        par.parallel_us,
+        par.speedup()
+    );
+    if par.jobs < 2 {
+        println!("  (host has no spare parallelism — both legs ran the serial path)");
+    }
+
+    let inter_us = dense_inter_us();
+    println!("dense Inter hot path     : {inter_us:.0}µs (chain ∪ / nested ∩ system)");
+
     let calibration_us = calibrate();
     let json = render_json(
         &ws.len(),
@@ -223,6 +260,8 @@ fn main() {
         &size_hist,
         &inter,
         &inc,
+        &par,
+        inter_us,
         calibration_us,
         peak_rss_kb(),
     );
@@ -281,10 +320,12 @@ fn interproc_stats() -> InterprocStats {
 
 /// Incremental-engine metrics over the call-heavy family: the cost of a
 /// cold summary build (keys + per-SCC solves), a warm run against a
-/// just-serialized cache (keys + lookups, no solves), and the sharded
-/// warm mode. `hit_rate` over unchanged modules is the cache-correctness
-/// canary the perf gate tracks — anything under 1.0 means keys churn
-/// without an edit.
+/// just-serialized cache (keys + lookups, no solves), and the same warm
+/// run at `jobs > 1` ("sharded"), now through the engine's one wavefront
+/// scheduler instead of a bespoke round-robin — so the jobs knob and the
+/// sharding can never disagree. `hit_rate` over unchanged modules is the
+/// cache-correctness canary the perf gate tracks — anything under 1.0
+/// means keys churn without an edit.
 struct IncrementalStats {
     workloads: usize,
     functions: usize,
@@ -297,11 +338,7 @@ struct IncrementalStats {
 
 fn incremental_stats() -> IncrementalStats {
     let calls = sraa_synth::call_suite(suite_n().min(24));
-    // Fixed default (not `available_parallelism`) so the sharded timing
-    // is comparable between the baseline host and CI runners; override
-    // with SRAA_WARM_SHARDS to explore scaling.
-    let shards =
-        std::env::var("SRAA_WARM_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4usize);
+    let shards = bench_jobs();
     let mut out = IncrementalStats {
         workloads: calls.len(),
         functions: 0,
@@ -342,6 +379,7 @@ fn incremental_stats() -> IncrementalStats {
                 &index,
                 solver,
                 LatticeBackend::Auto,
+                Jobs::N(NonZeroUsize::MIN),
             ));
         });
         let (keys, cold) = (keys.expect("ran"), cold.expect("ran"));
@@ -360,10 +398,11 @@ fn incremental_stats() -> IncrementalStats {
                 &index,
                 solver,
                 LatticeBackend::Auto,
+                Jobs::N(NonZeroUsize::MIN),
                 Some(&cache),
             ));
         });
-        let (warm, warm_keys, outcome) = warmed.expect("ran");
+        let (warm, _warm_keys, outcome) = warmed.expect("ran");
         assert_eq!((outcome.misses, outcome.invalidated), (0, 0), "{}: keys churned", w.name);
         assert_eq!(warm.stats.solves, 0, "{}: warm run must skip all solves", w.name);
         for (f, s) in cold.iter() {
@@ -372,113 +411,155 @@ fn incremental_stats() -> IncrementalStats {
         hits += u64::from(outcome.hits);
         out.functions += m.num_functions();
 
-        // Sharded warm: condensation roots partitioned across threads.
+        // Sharded warm: the identical warm run at `jobs = shards`, through
+        // the engine's own wavefront scheduler. On an unchanged module
+        // every component is a cache hit, which the scheduler installs
+        // serially (a lookup is tens of nanoseconds — no spawn can pay
+        // for itself), so this leg asserts the *no-pessimization* side of
+        // the unification: jobs > 1 must cost the same as jobs = 1 here.
+        let jobs = Jobs::N(NonZeroUsize::new(shards).expect("bench_jobs is ≥ 1"));
         let mut sharded = None;
         out.sharded_warm_us += best_of_3(&mut || {
-            sharded = Some(sharded_warm(&m, &warm_keys, &cache, shards));
+            sharded = Some(ModuleSummaries::compute_incremental(
+                &m,
+                &ranges,
+                GenConfig::default(),
+                &index,
+                solver,
+                LatticeBackend::Auto,
+                jobs,
+                Some(&cache),
+            ));
         });
-        let sharded = sharded.expect("ran");
+        let (sharded, _, sharded_outcome) = sharded.expect("ran");
+        assert_eq!(sharded_outcome, outcome, "{}: outcome must not depend on jobs", w.name);
         for (f, s) in cold.iter() {
-            assert_eq!(
-                sharded[f.index()].as_ref(),
-                Some(s),
-                "{}: sharded warm summary differs",
-                w.name
-            );
+            assert_eq!(sharded.of(f), s, "{}: sharded warm summary differs", w.name);
         }
     }
     out.hit_rate = hits as f64 / (out.functions.max(1)) as f64;
     out
 }
 
-/// Modules below this many functions run the "sharded" warm mode on one
-/// thread: a cache lookup is tens of nanoseconds, so on the small modules
-/// that dominate the suite, thread spawns cost more than the whole walk.
-/// The fan-out only pays for itself when each shard amortizes its spawn
-/// over many lookups.
-const SHARDED_MIN_FUNCTIONS: usize = 64;
+/// Wavefront-parallel summary pipeline on a wide call graph: one layer of
+/// `width` call-free helper functions (plus `main` above them), solved
+/// cold at `jobs = 1` and `jobs = parallel_jobs`. The two runs must be
+/// identical — the speedup row only tracks wall clock.
+struct ParallelStats {
+    functions: usize,
+    jobs: usize,
+    serial_us: f64,
+    parallel_us: f64,
+}
 
-/// The sharded warm mode: partition the condensation's *root* components
-/// (no external callers) round-robin across scoped threads; each thread
-/// walks the component DAG below its roots and fetches its members'
-/// summaries from the shared cache. Key checks and lookups are pure, so
-/// shards need no ordering or locking — components reachable from two
-/// shards' roots are fetched twice with identical results, and the merge
-/// is a plain overwrite. Demonstrates that the cache composes with the
-/// scoped-thread parallelism the engine already uses elsewhere. Small
-/// modules (below [`SHARDED_MIN_FUNCTIONS`]) take the same walk serially:
-/// identical results, no spawn overhead.
-fn sharded_warm(
-    m: &Module,
-    keys: &SummaryKeys,
-    cache: &SummaryCache,
-    shards: usize,
-) -> Vec<Option<sraa_core::FunctionSummary>> {
-    let cg = CallGraph::build(m);
-    let cond = cg.condense();
-    let n = cond.len();
-    let mut callee_comps: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut has_caller = vec![false; n];
-    for (f, _) in m.functions() {
-        let cf = cond.component_of(f);
-        for &g in cg.callees(f) {
-            let cc = cond.component_of(g);
-            if cc != cf {
-                callee_comps[cf].push(cc);
-                has_caller[cc] = true;
-            }
-        }
+impl ParallelStats {
+    fn speedup(&self) -> f64 {
+        self.serial_us / self.parallel_us.max(1e-9)
     }
-    let roots: Vec<usize> = (0..n).filter(|&c| !has_caller[c]).collect();
-    let shards = if m.num_functions() < SHARDED_MIN_FUNCTIONS {
-        1
-    } else {
-        shards.clamp(1, roots.len().max(1))
-    };
+}
 
-    // One shard's walk: everything reachable from its slice of the roots.
-    let walk = |t: usize| {
-        let mut seen = vec![false; n];
-        let mut stack: Vec<usize> = roots.iter().skip(t).step_by(shards).copied().collect();
-        for &r in &stack {
-            seen[r] = true;
+/// A module whose condensation is maximally wide: `width` independent
+/// straight-line helpers of ~`depth` additions each, all called by
+/// `main`. Layer 0 then holds `width` components carrying enough
+/// instructions to clear the scheduler's spawn floor.
+fn wide_module_source(width: usize, depth: usize) -> String {
+    let mut s = String::new();
+    for i in 0..width {
+        let _ = writeln!(s, "int wf{i}(int a, int b) {{");
+        let _ = writeln!(s, "    int x0 = a + 1;");
+        let _ = writeln!(s, "    int x1 = x0 + b;");
+        for j in 2..depth {
+            let _ = writeln!(s, "    int x{j} = x{} + {};", j - 1, (i + j) % 9 + 1);
         }
-        let mut got = Vec::new();
-        while let Some(c) = stack.pop() {
-            for &f in cond.members(c) {
-                let name = &m.function(f).name;
-                let summary = cache
-                    .lookup(name, keys.of(f))
-                    .expect("unchanged module: every lookup hits")
-                    .clone();
-                got.push((f, summary));
-            }
-            for &d in &callee_comps[c] {
-                if !seen[d] {
-                    seen[d] = true;
-                    stack.push(d);
-                }
-            }
-        }
-        got
-    };
-
-    let per_shard: Vec<Vec<(FuncId, sraa_core::FunctionSummary)>> = if shards == 1 {
-        vec![walk(0)]
-    } else {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..shards).map(|t| s.spawn(move || walk(t))).collect();
-            handles.into_iter().map(|h| h.join().expect("warm shard panicked")).collect()
-        })
-    };
-
-    let mut merged: Vec<Option<sraa_core::FunctionSummary>> = vec![None; m.num_functions()];
-    for shard in per_shard {
-        for (f, summary) in shard {
-            merged[f.index()] = Some(summary);
-        }
+        let _ = writeln!(s, "    return x{} + 1;", depth - 1);
+        let _ = writeln!(s, "}}");
     }
-    merged
+    s.push_str("int main() {\n    int s = 0;\n");
+    for i in 0..width {
+        let _ = writeln!(s, "    s = s + wf{i}({}, {});", i % 5, i % 3 + 1);
+    }
+    s.push_str("    return s;\n}\n");
+    s
+}
+
+fn parallel_stats() -> ParallelStats {
+    let src = wide_module_source(64, 80);
+    let mut m = sraa_minic::compile(&src).expect("wide module compiles");
+    let (ranges, _) = sraa_essa::transform_module(&mut m);
+    let index = VarIndex::new(&m);
+    let solver = SolverKind::Scc.solver();
+    let jobs = bench_jobs();
+    let mut out = ParallelStats {
+        functions: m.num_functions(),
+        jobs,
+        serial_us: f64::INFINITY,
+        parallel_us: f64::INFINITY,
+    };
+    let run = |jobs: Jobs| {
+        let t0 = Instant::now();
+        let sums = ModuleSummaries::compute(
+            &m,
+            &ranges,
+            GenConfig::default(),
+            &index,
+            solver,
+            LatticeBackend::Auto,
+            jobs,
+        );
+        (t0.elapsed().as_secs_f64() * 1e6, sums)
+    };
+    let mut serial = None;
+    let mut parallel = None;
+    for _ in 0..3 {
+        let (dt, sums) = run(Jobs::N(NonZeroUsize::MIN));
+        out.serial_us = out.serial_us.min(dt);
+        serial = Some(sums);
+        let (dt, sums) = run(Jobs::N(NonZeroUsize::new(jobs).expect("≥ 1")));
+        out.parallel_us = out.parallel_us.min(dt);
+        parallel = Some(sums);
+    }
+    assert_eq!(serial, parallel, "jobs must not change summaries or stats");
+    out
+}
+
+/// Wall clock of the dense backend on a deterministic `Inter`-heavy
+/// system: a ground chain `x_{i+1} ⊇ {x_i} ∪ LT(x_i)` grows nested sets
+/// up to `chain` elements, then every `y_k` intersects three chain
+/// prefixes. Nested sets make the intersections match-heavy — exactly
+/// the sorted-merge hot loop the word-level kernels accelerate. Acyclic
+/// on purpose: cyclic components take the bitset path instead.
+fn dense_inter_us() -> f64 {
+    let chain = 1200usize;
+    let inters = 600usize;
+    let mut cs: Vec<Constraint> = Vec::with_capacity(chain + inters);
+    cs.push(Constraint::Init { x: VarId::from_index(0) });
+    for i in 1..chain {
+        cs.push(Constraint::Union {
+            x: VarId::from_index(i),
+            elems: vec![VarId::from_index(i - 1)],
+            sources: vec![VarId::from_index(i - 1)],
+        });
+    }
+    for k in 0..inters {
+        cs.push(Constraint::Inter {
+            x: VarId::from_index(chain + k),
+            sources: vec![
+                VarId::from_index(chain / 2 + k % (chain / 4)),
+                VarId::from_index(chain * 3 / 4 + k % (chain / 8)),
+                VarId::from_index(chain - 1 - k % (chain / 8)),
+            ],
+        });
+    }
+    let num_vars = chain + inters;
+    let solver = SolverKind::Scc.solver();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let sol = solver.solve_with(&cs, num_vars, LatticeBackend::Dense);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(sol);
+    }
+    best
 }
 
 /// Solve time of one fixed reference system (best of five) — a proxy for
@@ -517,6 +598,8 @@ fn render_json(
     size_hist: &std::collections::BTreeMap<usize, usize>,
     inter: &InterprocStats,
     inc: &IncrementalStats,
+    par: &ParallelStats,
+    dense_inter_us: f64,
     calibration_us: f64,
     peak_rss_kb: u64,
 ) -> String {
@@ -524,7 +607,15 @@ fn render_json(
     let _ = writeln!(s, "  \"workloads\": {workloads},");
     let _ = writeln!(s, "  \"total_constraints\": {total_constraints},");
     let _ = writeln!(s, "  \"calibration_us\": {calibration_us:.1},");
+    let _ = writeln!(s, "  \"dense_inter_us\": {dense_inter_us:.1},");
     let _ = writeln!(s, "  \"peak_rss_kb\": {peak_rss_kb},");
+    s.push_str("  \"parallel\": {\n");
+    let _ = writeln!(s, "    \"functions\": {},", par.functions);
+    let _ = writeln!(s, "    \"jobs\": {},", par.jobs);
+    let _ = writeln!(s, "    \"serial_us\": {:.1},", par.serial_us);
+    let _ = writeln!(s, "    \"parallel_us\": {:.1},", par.parallel_us);
+    let _ = writeln!(s, "    \"speedup_over_serial\": {:.4}", par.speedup());
+    s.push_str("  },\n");
     s.push_str("  \"interproc\": {\n");
     let _ = writeln!(s, "    \"workloads\": {},", inter.workloads);
     let _ = writeln!(s, "    \"intra_no_alias\": {},", inter.intra_no_alias);

@@ -182,6 +182,26 @@ mod tests {
     }
 
     #[test]
+    fn alloc_counter_aggregates_across_threads() {
+        // The wavefront scheduler solves SCCs on scoped worker threads;
+        // the perf gate's allocation counts are only meaningful if heap
+        // traffic from every thread lands in the one global counter.
+        let before = alloc_count();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let v: Vec<u64> = (0..1024).collect();
+                    std::hint::black_box(&v);
+                });
+            }
+        });
+        assert!(
+            alloc_count() >= before + 4,
+            "worker-thread allocations must register in the global counter"
+        );
+    }
+
+    #[test]
     fn peak_rss_is_reported_where_procfs_exists() {
         if std::path::Path::new("/proc/self/status").exists() {
             assert!(peak_rss_kb() > 0, "a running process has a nonzero high-water mark");

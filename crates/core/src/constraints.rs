@@ -32,7 +32,7 @@
 //! merges the per-function outputs in function order — the emitted
 //! constraint sequence is byte-identical to a serial run.
 
-use crate::summary::ModuleSummaries;
+use crate::summary::{ModuleSummaries, SummarySource};
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{BinOp, CopyOrigin, FuncId, Function, InstKind, Module, Pred, Value};
 use sraa_range::RangeAnalysis;
@@ -207,7 +207,7 @@ pub(crate) fn generate_scoped(
     cfg: GenConfig,
     index: &VarIndex,
     funcs: &[FuncId],
-    summaries: &ModuleSummaries,
+    summaries: &dyn SummarySource,
 ) -> Vec<Constraint> {
     let mut out = Vec::new();
     for &fid in funcs {
@@ -255,6 +255,7 @@ fn generate_with_parallelism(
     allow_parallel: bool,
 ) -> ConstraintSystem {
     let num_funcs = module.num_functions();
+    let summaries = summaries.map(|s| s as &dyn SummarySource);
     let per_func =
         generate_per_function(module, ranges, cfg, index, summaries, num_funcs, allow_parallel);
 
@@ -310,7 +311,7 @@ fn generate_per_function(
     ranges: &RangeAnalysis,
     cfg: GenConfig,
     index: &VarIndex,
-    summaries: Option<&ModuleSummaries>,
+    summaries: Option<&dyn SummarySource>,
     num_funcs: usize,
     allow_parallel: bool,
 ) -> Vec<(Vec<Constraint>, Vec<CallRecord>)> {
@@ -367,7 +368,7 @@ struct FuncGen<'a> {
     index: &'a VarIndex,
     /// Interprocedural summaries to apply at call sites; `None` runs the
     /// paper's intraprocedural rules (calls are opaque).
-    summaries: Option<&'a ModuleSummaries>,
+    summaries: Option<&'a dyn SummarySource>,
     out: Vec<Constraint>,
     calls: Vec<CallRecord>,
 }
@@ -469,8 +470,7 @@ impl FuncGen<'_> {
         let x = self.id(v);
         if let Some(sums) = self.summaries {
             let ids: Vec<VarId> = sums
-                .of(callee)
-                .args_lt_ret()
+                .args_lt_ret_of(callee)
                 .iter()
                 .filter_map(|&j| args.get(j as usize).copied())
                 .filter(|&a| !self.is_const(a))

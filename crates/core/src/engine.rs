@@ -23,6 +23,7 @@
 use crate::analysis::{derived_pointer, strip_copies};
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::fast_solver::solve_fast_with;
+use crate::jobs::Jobs;
 use crate::lattice::LatticeBackend;
 use crate::persist;
 use crate::solver::{solve_with, Solution, SolveStats};
@@ -222,6 +223,11 @@ pub struct EngineConfig {
     /// and rewrites it afterwards. Hit/miss/invalidated counts land in
     /// [`SolveStats`].
     pub summary_cache: Option<std::path::PathBuf>,
+    /// Worker threads for the wavefront-parallel summary pipeline
+    /// (default: [`Jobs::Auto`] — `SRAA_JOBS`, else available
+    /// parallelism). Exposed as the `--jobs N` CLI flag; every jobs
+    /// value yields byte-identical output.
+    pub jobs: Jobs,
 }
 
 impl EngineConfig {
@@ -242,6 +248,13 @@ impl EngineConfig {
     /// This configuration with an explicit lattice-store backend.
     pub fn with_lattice(mut self, lattice: LatticeBackend) -> Self {
         self.lattice = lattice;
+        self
+    }
+
+    /// This configuration with an explicit worker-thread count for the
+    /// summary pipeline.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -347,6 +360,7 @@ impl DisambiguationEngine {
                     &index,
                     solver,
                     cfg.lattice,
+                    cfg.jobs,
                 )),
                 Some(path) => {
                     let cache = match persist::load(path, cfg.gen) {
@@ -368,6 +382,7 @@ impl DisambiguationEngine {
                         &index,
                         solver,
                         cfg.lattice,
+                        cfg.jobs,
                         cache.as_ref(),
                     );
                     if cache.is_none() {

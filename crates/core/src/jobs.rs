@@ -1,0 +1,77 @@
+//! The `--jobs` knob: how many worker threads the wavefront-parallel
+//! summary pipeline may use.
+//!
+//! Resolution order is flag over environment over hardware: an explicit
+//! [`Jobs::N`] always wins; [`Jobs::Auto`] consults `SRAA_JOBS` (a
+//! positive integer; anything else is ignored) and falls back to
+//! [`std::thread::available_parallelism`]. Whatever the count, results
+//! are byte-identical — parallelism only reorders *work*, never output
+//! (see the determinism notes on `ModuleSummaries::compute`).
+
+use std::num::NonZeroUsize;
+
+/// Worker-thread count for parallel summary solves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Jobs {
+    /// `SRAA_JOBS` if set and valid, else the machine's available
+    /// parallelism.
+    #[default]
+    Auto,
+    /// Exactly this many workers (`1` forces the serial path).
+    N(NonZeroUsize),
+}
+
+impl Jobs {
+    /// Parses a `--jobs` argument: `"auto"`, or a positive integer.
+    /// `"0"`, negatives and garbage are rejected with `None`.
+    pub fn parse(s: &str) -> Option<Jobs> {
+        if s == "auto" {
+            return Some(Jobs::Auto);
+        }
+        s.parse::<usize>().ok().and_then(NonZeroUsize::new).map(Jobs::N)
+    }
+
+    /// The `SRAA_JOBS` environment override, if present and valid.
+    /// Read on every call — tests toggle the variable between runs.
+    pub fn from_env() -> Option<Jobs> {
+        std::env::var("SRAA_JOBS").ok().and_then(|v| Jobs::parse(&v))
+    }
+
+    /// Resolves to a concrete worker count (always ≥ 1).
+    pub fn get(self) -> usize {
+        match self {
+            Jobs::N(n) => n.get(),
+            Jobs::Auto => match Self::from_env() {
+                Some(Jobs::N(n)) => n.get(),
+                _ => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_auto_and_positive_integers() {
+        assert_eq!(Jobs::parse("auto"), Some(Jobs::Auto));
+        assert_eq!(Jobs::parse("1").unwrap().get(), 1);
+        assert_eq!(Jobs::parse("16").unwrap().get(), 16);
+    }
+
+    #[test]
+    fn parse_rejects_zero_negatives_and_garbage() {
+        assert_eq!(Jobs::parse("0"), None);
+        assert_eq!(Jobs::parse("-2"), None);
+        assert_eq!(Jobs::parse(""), None);
+        assert_eq!(Jobs::parse("four"), None);
+        assert_eq!(Jobs::parse("2x"), None);
+    }
+
+    #[test]
+    fn explicit_count_resolves_to_itself() {
+        assert_eq!(Jobs::parse("3").unwrap().get(), 3);
+        assert!(Jobs::Auto.get() >= 1);
+    }
+}

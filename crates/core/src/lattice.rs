@@ -5,24 +5,28 @@
 //! *scheduling* only (FIFO worklist vs SCC topological order). Everything
 //! about how `LT` sets are *represented* lives here, behind one small
 //! contract: a store holds the current set of every variable, re-evaluates
-//! one constraint at a time ([`LatticeStore::update`]) and reports whether
+//! one constraint at a time (`LatticeStore::update`) and reports whether
 //! the defined variable's set actually changed ([`ChangeResult`]), so a
 //! solver re-enqueues successors only on observed change. Two backends
 //! implement the contract:
 //!
-//! * [`ArcStore`] — the historical representation: one `Arc<[u32]>` per
+//! * `ArcStore` — the historical representation: one `Arc<[u32]>` per
 //!   variable ([`LtSet`]). `Copy` constraints share allocations and
 //!   solutions are cheap to clone, but every `Union` evaluation allocates
 //!   a fresh slice, which dominates solve time on large systems.
-//! * [`DenseStore`] — a flat CSR-style arena: all explicit sets live in
+//! * `DenseStore` — a flat CSR-style arena: all explicit sets live in
 //!   one contiguous `Vec<u32>` addressed by per-variable `(offset, len)`.
 //!   Because the lattice only descends (`new ⊆ old`, paper Theorem 3.7),
 //!   a re-evaluation can almost always shrink a set *in place*; fresh
-//!   arena space is appended only on a variable's first explicit write.
-//!   Inside large cyclic components the store switches to fixed-width
-//!   bitset rows ([`sraa_ir::BitMatrix`]) over the component's candidate
-//!   element universe, turning the hot `Union`/`Inter` evaluations into
-//!   word-parallel operations. ⊤ stays symbolic in both backends.
+//!   arena space is appended only on a variable's first explicit write,
+//!   and the dead words shrinks leave behind are compacted away
+//!   mid-solve once they dominate the arena. The straight-line
+//!   `Union`/`Inter` evaluations run over the vectorizable sorted-set
+//!   kernels of `crate::setops` (block-skip intersection, run-copying
+//!   merge union); inside large cyclic components the store switches to
+//!   fixed-width bitset rows ([`sraa_ir::BitMatrix`]) over the
+//!   component's candidate element universe, turning the hot evaluations
+//!   into word-parallel operations. ⊤ stays symbolic in both backends.
 //!
 //! Both backends compute the identical greatest fixpoint with the
 //! identical evaluation schedule — `stats.pops`, frozen-⊤ counts and all
@@ -34,6 +38,7 @@
 
 use crate::constraints::Constraint;
 use crate::lt_set::{decreases, eval, LtSet};
+use crate::setops::{intersect_in_place, union_merge};
 use crate::solver::{Solution, SolveStats};
 use sraa_ir::BitMatrix;
 use std::collections::VecDeque;
@@ -62,9 +67,11 @@ impl ChangeResult {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum LatticeBackend {
     /// Measured default: [`LatticeBackend::Dense`] for systems of at
-    /// least [`DENSE_MIN_CONSTRAINTS`] constraints, [`LatticeBackend::Arc`]
+    /// least [`dense_min_constraints`] constraints, [`LatticeBackend::Arc`]
     /// below (tiny systems fit in cache either way and the shared-`Arc`
-    /// solutions are cheaper to clone). Overridable via the
+    /// solutions are cheaper to clone). The crossover is self-calibrated
+    /// once per process from micro-probes of both backends; pin it with
+    /// `SRAA_DENSE_MIN=N`, or bypass the heuristic entirely via the
     /// `SRAA_LATTICE={arc,dense}` environment variable.
     #[default]
     Auto,
@@ -74,14 +81,121 @@ pub enum LatticeBackend {
     Dense,
 }
 
-/// Below this constraint count `Auto` picks the `Arc` backend.
+/// Fallback `Auto` crossover when calibration is unavailable or
+/// inconclusive.
 ///
 /// Measured on the `scalability` suite (best-of-3 per size, see
 /// `BENCH_baseline.json`): the dense arena wins clearly from a few
 /// hundred constraints up (no per-`Union` allocation), while below that
 /// the two are within noise of each other and the shared-slice solution
 /// clones cheaper. 256 sits comfortably inside the indifference band.
+/// The live threshold is [`dense_min_constraints`], which measures the
+/// actual arc/dense crossover on this machine.
 pub const DENSE_MIN_CONSTRAINTS: usize = 256;
+
+/// The constraint count from which `Auto` picks the `Dense` backend,
+/// self-calibrated once per process.
+///
+/// Resolution order:
+/// 1. `SRAA_DENSE_MIN=N` in the environment pins the threshold exactly
+///    (CI's perf gate sets `256` so allocation-count gate rows stay
+///    machine-independent).
+/// 2. Otherwise a one-shot micro-calibration solves the same synthetic
+///    chain-with-φs system at a ladder of sizes with *both* explicit
+///    backends (explicit backends never consult this threshold, so the
+///    probe cannot re-enter the `OnceLock`) and picks the smallest probe
+///    size from which `Dense` never loses again (`pick_crossover`).
+/// 3. If `Arc` wins every probe, the measured crossover is above the
+///    ladder and the conservative [`DENSE_MIN_CONSTRAINTS`] fallback is
+///    used.
+pub fn dense_min_constraints() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Some(n) =
+            std::env::var("SRAA_DENSE_MIN").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            return n;
+        }
+        calibrate_crossover().unwrap_or(DENSE_MIN_CONSTRAINTS)
+    })
+}
+
+/// Probe ladder for [`calibrate_crossover`]: covers the historical
+/// indifference band on both sides.
+const CALIBRATION_PROBES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// Times both explicit backends on a synthetic system per probe size and
+/// picks the crossover. Total cost is a few hundred microseconds, paid at
+/// most once per process (and only when `Auto` actually resolves without
+/// an environment pin).
+fn calibrate_crossover() -> Option<usize> {
+    let mut rows = Vec::with_capacity(CALIBRATION_PROBES.len());
+    for &size in &CALIBRATION_PROBES {
+        let (cs, n) = calibration_system(size);
+        let arc_ns = best_of(3, || {
+            crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Arc);
+        });
+        let dense_ns = best_of(3, || {
+            crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Dense);
+        });
+        rows.push((size, arc_ns, dense_ns));
+    }
+    pick_crossover(&rows)
+}
+
+/// The probe workload: `Union` chains re-grounded every 64 constraints
+/// (keeping sets bounded, as e-SSA live ranges are) with a φ-style
+/// `Inter` every 8th constraint — the shape Figure-7 generation produces
+/// for straight-line code with joins.
+fn calibration_system(num_constraints: usize) -> (Vec<Constraint>, usize) {
+    use crate::var_index::VarId;
+    let mut cs = Vec::with_capacity(num_constraints);
+    cs.push(Constraint::Init { x: VarId::new(0) });
+    for i in 1..num_constraints as u32 {
+        cs.push(if i % 64 == 0 {
+            Constraint::Init { x: VarId::new(i) }
+        } else if i % 8 == 0 && i % 64 >= 2 {
+            Constraint::Inter {
+                x: VarId::new(i),
+                sources: vec![VarId::new(i - 1), VarId::new(i - 2)],
+            }
+        } else {
+            Constraint::Union {
+                x: VarId::new(i),
+                elems: vec![VarId::new(i - 1)],
+                sources: vec![VarId::new(i - 1)],
+            }
+        });
+    }
+    (cs, num_constraints)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Pure crossover selection over `(size, arc_ns, dense_ns)` probe rows
+/// (sorted ascending by size): the smallest probed size from which
+/// `Dense` never loses again. `None` when `Arc` wins the largest probe —
+/// the crossover, if any, lies beyond the ladder.
+pub(crate) fn pick_crossover(probes: &[(usize, u64, u64)]) -> Option<usize> {
+    let mut ans = None;
+    for &(size, arc_ns, dense_ns) in probes.iter().rev() {
+        if dense_ns <= arc_ns {
+            ans = Some(size);
+        } else {
+            break;
+        }
+    }
+    ans
+}
 
 /// The backend `Auto` resolved to, after consulting `SRAA_LATTICE` and
 /// the size heuristic.
@@ -139,7 +253,7 @@ impl LatticeBackend {
             LatticeBackend::Auto => match env_override() {
                 Some(LatticeBackend::Arc) => ResolvedBackend::Arc,
                 Some(LatticeBackend::Dense) => ResolvedBackend::Dense,
-                _ if num_constraints >= DENSE_MIN_CONSTRAINTS => ResolvedBackend::Dense,
+                _ if num_constraints >= dense_min_constraints() => ResolvedBackend::Dense,
                 _ => ResolvedBackend::Arc,
             },
         }
@@ -322,14 +436,28 @@ const BITSET_MIN_MEMBERS: usize = 16;
 /// so memory stays proportional to the solution.
 const BITSET_BIT_BUDGET: usize = 1 << 25;
 
+/// Dead arena words below this count never trigger [`DenseStore::compact`]:
+/// small solves finish before fragmentation can matter and the sweep
+/// would cost more than the locality it buys.
+const COMPACT_MIN_GARBAGE: usize = 4096;
+
 /// The flat backend: every explicit set is a `(offset, len)` window into
 /// one contiguous arena. First writes append; later writes shrink in
-/// place (the lattice only descends). ⊤ is the offset sentinel.
+/// place (the lattice only descends), leaving dead words behind the
+/// shrunk window — tracked in `garbage` and reclaimed mid-solve by
+/// [`DenseStore::compact`] once they dominate the arena, instead of
+/// only being dropped at freeze. ⊤ is the offset sentinel.
 pub(crate) struct DenseStore {
     off: Vec<u32>,
     len: Vec<u32>,
     arena: Vec<u32>,
     scratch: Vec<u32>,
+    /// Second scratch set, ping-ponged with `scratch` by the merge-union
+    /// evaluation of `Union` constraints.
+    scratch2: Vec<u32>,
+    /// Arena words no live window covers (shrunk-away tails, abandoned
+    /// windows).
+    garbage: usize,
 }
 
 impl DenseStore {
@@ -341,6 +469,8 @@ impl DenseStore {
             // amortised arena replaces per-set allocations entirely.
             arena: Vec::with_capacity(num_vars.saturating_mul(2)),
             scratch: Vec::new(),
+            scratch2: Vec::new(),
+            garbage: 0,
         }
     }
 
@@ -360,6 +490,7 @@ impl DenseStore {
         } else {
             // Cannot happen under descending evaluation, but keep the
             // store total: mirror what the Arc backend would do.
+            self.garbage += self.len[x] as usize;
             self.off[x] = TOP_OFF;
             self.len[x] = 0;
             ChangeResult::Changed
@@ -394,14 +525,45 @@ impl DenseStore {
         if self.off[x] != TOP_OFF && n <= self.len[x] as usize {
             let o = self.off[x] as usize;
             self.arena[o..o + n].copy_from_slice(&self.scratch);
+            self.garbage += self.len[x] as usize - n;
         } else {
+            if self.off[x] != TOP_OFF {
+                // Unreachable under descending evaluation, but stay
+                // total: the abandoned window is dead arena.
+                self.garbage += self.len[x] as usize;
+            }
             let o = self.arena.len();
             assert!(o + n < TOP_OFF as usize, "dense lattice arena overflow");
             self.arena.extend_from_slice(&self.scratch);
             self.off[x] = o as u32;
         }
         self.len[x] = n as u32;
+        if self.garbage >= COMPACT_MIN_GARBAGE && self.garbage * 2 > self.arena.len() {
+            self.compact();
+        }
         ChangeResult::Changed
+    }
+
+    /// Slides every live window left over the dead words, in offset
+    /// order, and truncates the arena. Windows are pairwise disjoint and
+    /// sorted source offsets only decrease, so the left-to-right
+    /// `copy_within` never overwrites unread data. Runs mid-solve (from
+    /// [`DenseStore::commit_changed`]) so a long descending solve keeps
+    /// its working set contiguous instead of only reclaiming at freeze.
+    fn compact(&mut self) {
+        let mut live: Vec<u32> =
+            (0..self.off.len() as u32).filter(|&v| self.off[v as usize] != TOP_OFF).collect();
+        live.sort_unstable_by_key(|&v| self.off[v as usize]);
+        let mut w = 0usize;
+        for v in live {
+            let (o, l) = self.slice_bounds(v as usize);
+            debug_assert!(w <= o, "live windows are disjoint and sorted");
+            self.arena.copy_within(o..o + l, w);
+            self.off[v as usize] = w as u32;
+            w += l;
+        }
+        self.arena.truncate(w);
+        self.garbage = 0;
     }
 
     /// Appends the current elements of `v` (nothing for ⊤) to `out`.
@@ -681,12 +843,20 @@ impl LatticeStore for DenseStore {
                 }
                 self.scratch.clear();
                 self.scratch.extend(elems.iter().map(|e| e.raw()));
-                for s in sources {
-                    let (o, l) = self.slice_bounds(s.index());
-                    self.scratch.extend_from_slice(&self.arena[o..o + l]);
-                }
                 self.scratch.sort_unstable();
                 self.scratch.dedup();
+                // Fold each (sorted) source set in with a run-copying
+                // merge, ping-ponging between the two scratch buffers —
+                // no concat-sort-dedup over the whole accumulation.
+                for s in sources {
+                    let (o, l) = self.slice_bounds(s.index());
+                    if l == 0 {
+                        continue;
+                    }
+                    self.scratch2.clear();
+                    union_merge(&mut self.scratch2, &self.scratch, &self.arena[o..o + l]);
+                    std::mem::swap(&mut self.scratch, &mut self.scratch2);
+                }
                 self.commit(x)
             }
             Constraint::Inter { sources, .. } => {
@@ -752,24 +922,6 @@ impl LatticeStore for DenseStore {
     }
 }
 
-/// In-place intersection of a sorted vector with a sorted slice.
-fn intersect_in_place(acc: &mut Vec<u32>, b: &[u32]) {
-    let mut w = 0;
-    let mut j = 0;
-    for i in 0..acc.len() {
-        let v = acc[i];
-        while j < b.len() && b[j] < v {
-            j += 1;
-        }
-        if j < b.len() && b[j] == v {
-            acc[w] = v;
-            w += 1;
-            j += 1;
-        }
-    }
-    acc.truncate(w);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -826,6 +978,90 @@ mod tests {
         // Identical rewrite is a no-op.
         store.scratch = vec![2];
         assert!(!store.commit(0).changed());
+    }
+
+    #[test]
+    fn dense_store_compacts_mid_solve() {
+        let big = COMPACT_MIN_GARBAGE as u32 * 2;
+        let mut store = DenseStore::new(3);
+        // Two fat windows, then shrink both to singletons: the dead
+        // tails dominate the arena and must be swept without waiting
+        // for freeze.
+        store.scratch = (0..big).collect();
+        assert!(store.commit(0).changed());
+        store.scratch = (0..big).collect();
+        assert!(store.commit(1).changed());
+        assert_eq!(store.arena.len(), 2 * big as usize);
+        store.scratch = vec![7];
+        assert!(store.commit(0).changed());
+        store.scratch = vec![9];
+        assert!(store.commit(1).changed());
+        assert_eq!(store.garbage, 0, "compaction resets the dead-word count");
+        assert_eq!(store.arena.len(), 2, "arena shrinks to the live windows");
+        // Live contents survive the slide, untouched vars stay ⊤.
+        let sol = store.freeze(SolveStats::default());
+        assert_eq!(sol.lt_set(v(0)), &[7][..]);
+        assert_eq!(sol.lt_set(v(1)), &[9][..]);
+        assert!(sol.was_top(v(2)));
+    }
+
+    #[test]
+    fn compaction_preserves_offset_order_with_interleaved_tops() {
+        let big = COMPACT_MIN_GARBAGE as u32 * 2;
+        let mut store = DenseStore::new(4);
+        for x in 0..4 {
+            store.scratch = (0..big).collect();
+            assert!(store.commit(x).changed());
+        }
+        // Demote one to ⊤ (window abandoned) and shrink the others.
+        assert!(store.make_top(1).changed());
+        for (x, e) in [(0usize, 10u32), (2, 20), (3, 30)] {
+            store.scratch = vec![e];
+            assert!(store.commit(x).changed());
+        }
+        assert_eq!(store.arena.len(), 3);
+        let sol = store.freeze(SolveStats::default());
+        assert_eq!(sol.lt_set(v(0)), &[10][..]);
+        assert!(sol.was_top(v(1)));
+        assert_eq!(sol.lt_set(v(2)), &[20][..]);
+        assert_eq!(sol.lt_set(v(3)), &[30][..]);
+    }
+
+    #[test]
+    fn pick_crossover_wants_a_dense_winning_suffix() {
+        // Dense wins from 256 up: the crossover is the first size of the
+        // winning suffix.
+        assert_eq!(
+            pick_crossover(&[(64, 10, 20), (128, 20, 25), (256, 40, 30), (512, 80, 45)]),
+            Some(256)
+        );
+        // A noisy dense win below an arc win does not count: the suffix
+        // must be unbroken.
+        assert_eq!(
+            pick_crossover(&[(64, 10, 8), (128, 20, 25), (256, 40, 30), (512, 80, 45)]),
+            Some(256)
+        );
+        // Dense everywhere: the smallest probe.
+        assert_eq!(pick_crossover(&[(64, 10, 9), (128, 20, 15)]), Some(64));
+        // Arc everywhere (or at the top): no measured crossover.
+        assert_eq!(pick_crossover(&[(64, 10, 20), (128, 20, 45)]), None);
+        assert_eq!(pick_crossover(&[]), None);
+    }
+
+    #[test]
+    fn calibration_probes_solve_and_threshold_is_positive() {
+        // The probe systems must be solvable by both backends with equal
+        // results (they feed timing, but must not diverge semantically).
+        for &size in &CALIBRATION_PROBES {
+            let (cs, n) = calibration_system(size);
+            let a = crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Arc);
+            let d = crate::fast_solver::solve_fast_with(&cs, n, LatticeBackend::Dense);
+            assert_eq!(a.stats, d.stats, "probe size {size}");
+        }
+        // Whatever the machine measures (or SRAA_DENSE_MIN pins), the
+        // resolved threshold is a usable positive count.
+        assert!(dense_min_constraints() > 0);
+        assert_eq!(dense_min_constraints(), dense_min_constraints(), "cached per process");
     }
 
     #[test]

@@ -93,10 +93,12 @@ pub mod analysis;
 pub mod constraints;
 pub mod engine;
 pub mod fast_solver;
+pub mod jobs;
 pub mod lattice;
 pub mod lt_set;
 pub mod ondemand;
 pub mod persist;
+pub(crate) mod setops;
 pub mod solver;
 pub mod summary;
 #[cfg(test)]
@@ -110,6 +112,7 @@ pub use engine::{
     WorklistSolver,
 };
 pub use fast_solver::{solve_fast, solve_fast_with};
+pub use jobs::Jobs;
 pub use lattice::{ChangeResult, LatticeBackend};
 pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;

@@ -378,6 +378,7 @@ mod tests {
             &index,
             SolverKind::Scc.solver(),
             crate::lattice::LatticeBackend::Auto,
+            crate::jobs::Jobs::default(),
         );
         let keys = SummaryKeys::compute(&m);
         (m, sums, keys)

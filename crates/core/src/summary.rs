@@ -52,11 +52,31 @@
 
 use crate::constraints::{self, Constraint, GenConfig};
 use crate::engine::FixpointSolver;
+use crate::jobs::Jobs;
 use crate::lattice::LatticeBackend;
 use crate::persist::{SummaryCache, SummaryKeys};
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{CallGraph, FuncId, InstKind, Module, Value};
 use sraa_range::RangeAnalysis;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Read-only summary lookup during constraint generation. The solved
+/// module view ([`ModuleSummaries`]) and the per-SCC overlay a wavefront
+/// worker holds while iterating a recursive component ([`SccView`]) both
+/// answer the one question `call_result` asks: which parameters of the
+/// callee are proven `< ret`. `Sync` because workers share the view
+/// across scoped threads.
+pub(crate) trait SummarySource: Sync {
+    /// Sorted indices of `f`'s parameters proven strictly less than
+    /// every value `f` returns.
+    fn args_lt_ret_of(&self, f: FuncId) -> &[u32];
+}
+
+impl SummarySource for ModuleSummaries {
+    fn args_lt_ret_of(&self, f: FuncId) -> &[u32] {
+        self.per_func[f.index()].args_lt_ret()
+    }
+}
 
 /// What one function guarantees about its return value, independent of
 /// any calling context.
@@ -143,6 +163,14 @@ impl ModuleSummaries {
     ///
     /// `module` must already be in e-SSA form with `ranges` computed for
     /// it (the same preconditions as constraint generation).
+    ///
+    /// The walk proceeds wavefront by wavefront over the Kahn
+    /// levelization ([`sraa_ir::Condensation::layers`]): components in
+    /// one layer share no call edges, so `jobs > 1` dispatches a layer's
+    /// cold solves across work-stealing scoped threads. Results are
+    /// **byte-identical for every jobs value** — workers only read the
+    /// frozen summaries of strictly lower layers, merges happen in
+    /// component order, and all statistics are commutative sums.
     pub fn compute(
         module: &Module,
         ranges: &RangeAnalysis,
@@ -150,8 +178,9 @@ impl ModuleSummaries {
         index: &VarIndex,
         solver: &dyn FixpointSolver,
         lattice: LatticeBackend,
+        jobs: Jobs,
     ) -> Self {
-        Self::compute_inner(module, ranges, cfg, index, solver, lattice, false, None).0
+        Self::compute_inner(module, ranges, cfg, index, solver, lattice, jobs, false, None).0
     }
 
     /// [`ModuleSummaries::compute`] with a **warm path**: components whose
@@ -166,6 +195,7 @@ impl ModuleSummaries {
     /// Computes (and returns) the [`SummaryKeys`] itself, sharing one
     /// call-graph + condensation build with the solve loop; hand the
     /// keys to [`crate::persist::save`] to refresh the cache afterwards.
+    #[allow(clippy::too_many_arguments)]
     pub fn compute_incremental(
         module: &Module,
         ranges: &RangeAnalysis,
@@ -173,10 +203,11 @@ impl ModuleSummaries {
         index: &VarIndex,
         solver: &dyn FixpointSolver,
         lattice: LatticeBackend,
+        jobs: Jobs,
         cache: Option<&SummaryCache>,
     ) -> (Self, SummaryKeys, CacheOutcome) {
         let (sums, keys, outcome) =
-            Self::compute_inner(module, ranges, cfg, index, solver, lattice, true, cache);
+            Self::compute_inner(module, ranges, cfg, index, solver, lattice, jobs, true, cache);
         (sums, keys.expect("requested above"), outcome)
     }
 
@@ -188,6 +219,7 @@ impl ModuleSummaries {
         index: &VarIndex,
         solver: &dyn FixpointSolver,
         lattice: LatticeBackend,
+        jobs: Jobs,
         want_keys: bool,
         cache: Option<&SummaryCache>,
     ) -> (Self, Option<SummaryKeys>, CacheOutcome) {
@@ -195,6 +227,7 @@ impl ModuleSummaries {
         let cond = cg.condense();
         let keys = want_keys.then(|| SummaryKeys::compute_with(module, &cg, &cond));
         let warm = cache.and_then(|c| keys.as_ref().map(|k| (k, c)));
+        let jobs = jobs.get();
         let mut outcome = CacheOutcome::default();
         let mut sums = ModuleSummaries {
             per_func: vec![FunctionSummary::default(); module.num_functions()],
@@ -205,67 +238,110 @@ impl ModuleSummaries {
             },
         };
 
-        for (ci, members) in cond.bottom_up() {
-            // Warm path: an all-members hit installs the cached summaries
-            // and skips the solve. Partial hits cannot happen within a
+        for layer in cond.layers() {
+            // Warm path first, serially: an all-members hit installs the
+            // cached summaries and skips the solve — too cheap to pay a
+            // thread spawn for. Partial hits cannot happen within a
             // component (members are mutually reachable, so one edit
             // re-keys them all) short of a hash collision; if one ever
             // did, the cold path below recomputes everything soundly.
-            if let Some((keys, cache)) = warm {
-                let mut all_hit = true;
-                for &f in members {
-                    match cache.get(&module.function(f).name) {
-                        Some((k, _)) if k == keys.of(f) => outcome.hits += 1,
-                        Some(_) => {
-                            outcome.invalidated += 1;
-                            all_hit = false;
-                        }
-                        None => {
-                            outcome.misses += 1;
-                            all_hit = false;
-                        }
-                    }
-                }
-                if all_hit {
+            let mut cold: Vec<usize> = Vec::new();
+            for &ci in &layer {
+                let ci = ci as usize;
+                let members = cond.members(ci);
+                if let Some((keys, cache)) = warm {
+                    let mut all_hit = true;
                     for &f in members {
-                        let cached = cache
-                            .lookup(&module.function(f).name, keys.of(f))
-                            .expect("classified as hit above");
-                        sums.per_func[f.index()] = cached.clone();
+                        match cache.get(&module.function(f).name) {
+                            Some((k, _)) if k == keys.of(f) => outcome.hits += 1,
+                            Some(_) => {
+                                outcome.invalidated += 1;
+                                all_hit = false;
+                            }
+                            None => {
+                                outcome.misses += 1;
+                                all_hit = false;
+                            }
+                        }
                     }
-                    continue;
+                    if all_hit {
+                        for &f in members {
+                            let cached = cache
+                                .lookup(&module.function(f).name, keys.of(f))
+                                .expect("classified as hit above");
+                            sums.per_func[f.index()] = cached.clone();
+                        }
+                        continue;
+                    }
                 }
+                cold.push(ci);
             }
 
-            let recursive = cond.is_recursive(ci);
-            if recursive {
-                // Optimistic start: assume every parameter of every member
-                // is < ret, then descend (greatest fixpoint).
-                for &f in members {
-                    let n = module.function(f).params.len() as u32;
-                    sums.per_func[f.index()] = FunctionSummary { args_lt_ret: (0..n).collect() };
-                }
-            }
-            let space = SccSpace::new(module, index, members);
-            loop {
-                let raw = constraints::generate_scoped(module, ranges, cfg, index, members, &sums);
-                let local: Vec<Constraint> = raw.iter().map(|c| space.remap(c)).collect();
-                let solution = solver.solve_with(&local, space.len(), lattice);
-                sums.stats.solves += 1;
-                let mut changed = false;
-                for &f in members {
-                    let new = distil(module, index, &space, &solution, f);
-                    if new != sums.per_func[f.index()] {
-                        sums.per_func[f.index()] = new;
-                        changed = true;
+            // Cold components of one layer are mutually independent:
+            // solve them serially, or fan out work-stealing workers when
+            // the layer carries enough work to amortize the spawns.
+            let layer_insts: usize = cold
+                .iter()
+                .flat_map(|&ci| cond.members(ci))
+                .map(|&f| module.function(f).num_insts())
+                .sum();
+            let parallel =
+                jobs >= 2 && cold.len() >= 2 && layer_insts >= WAVEFRONT_MIN_INSTRUCTIONS;
+            let solve_one = |ci: usize| {
+                solve_scc(
+                    module,
+                    ranges,
+                    cfg,
+                    index,
+                    solver,
+                    lattice,
+                    cond.members(ci),
+                    cond.is_recursive(ci),
+                    &sums.per_func,
+                )
+            };
+            let outs: Vec<CompOut> = if !parallel {
+                cold.iter().map(|&ci| solve_one(ci)).collect()
+            } else {
+                // Work stealing over the layer: one shared cursor, each
+                // worker grabs the next unsolved component. Slot results
+                // by index so the merge below is order-independent of
+                // which worker solved what.
+                let cursor = AtomicUsize::new(0);
+                let workers = jobs.min(cold.len());
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut done: Vec<(usize, CompOut)> = Vec::new();
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&ci) = cold.get(i) else { break };
+                                    done.push((i, solve_one(ci)));
+                                }
+                                done
+                            })
+                        })
+                        .collect();
+                    let mut slots: Vec<Option<CompOut>> = cold.iter().map(|_| None).collect();
+                    for h in handles {
+                        for (i, out) in h.join().expect("summary wavefront worker panicked") {
+                            slots[i] = Some(out);
+                        }
                     }
-                }
-                // Non-recursive components never read their own summary,
-                // so one solve is the fixpoint. Recursive components
-                // iterate: the optimistic start only ever *sheds* facts,
-                // so the descent is bounded by the total fact count.
-                if !recursive || !changed {
-                    break;
+                    slots
+                        .into_iter()
+                        .map(|o| o.expect("work-stealing cursor covers every component"))
+                        .collect()
+                })
+            };
+
+            // Deterministic merge, in component order. `solves` is a
+            // commutative sum, so the total matches a serial walk.
+            for (&ci, out) in cold.iter().zip(outs) {
+                sums.stats.solves += out.solves;
+                for (&f, s) in cond.members(ci).iter().zip(out.summaries) {
+                    sums.per_func[f.index()] = s;
                 }
             }
         }
@@ -288,6 +364,97 @@ impl ModuleSummaries {
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FunctionSummary)> {
         self.per_func.iter().enumerate().map(|(i, s)| (FuncId::from_index(i), s))
     }
+}
+
+/// A wavefront layer below this much total work (instruction count over
+/// its cold members) solves serially even at `jobs > 1`: thread spawns
+/// would dominate on the small modules that saturate the test corpus.
+/// Mirrors `PARALLEL_MIN_INSTRUCTIONS` in the constraint generator.
+pub(crate) const WAVEFRONT_MIN_INSTRUCTIONS: usize = 2_000;
+
+/// What one per-component solve produces: the members' summaries (in
+/// member order) and the work counters to fold into [`SummaryStats`].
+struct CompOut {
+    summaries: Vec<FunctionSummary>,
+    solves: u64,
+}
+
+/// The summary view one in-flight component solve reads: its own members'
+/// current iterate (the optimistic descent state), everything else from
+/// the frozen lower-layer base. Members never call *sideways* into their
+/// own layer and never upward, so the base is always final where it is
+/// consulted.
+struct SccView<'a> {
+    base: &'a [FunctionSummary],
+    /// Ascending by [`FuncId`] (Tarjan sorts each component).
+    members: &'a [FuncId],
+    /// Parallel to `members`.
+    local: &'a [FunctionSummary],
+}
+
+impl SummarySource for SccView<'_> {
+    fn args_lt_ret_of(&self, f: FuncId) -> &[u32] {
+        match self.members.binary_search(&f) {
+            Ok(i) => self.local[i].args_lt_ret(),
+            Err(_) => self.base[f.index()].args_lt_ret(),
+        }
+    }
+}
+
+/// Solves one cold component against the frozen summaries in `base` and
+/// returns its members' distilled summaries. Pure with respect to the
+/// module walk — workers share nothing mutable, which is what makes the
+/// wavefront dispatch deterministic.
+#[allow(clippy::too_many_arguments)]
+fn solve_scc(
+    module: &Module,
+    ranges: &RangeAnalysis,
+    cfg: GenConfig,
+    index: &VarIndex,
+    solver: &dyn FixpointSolver,
+    lattice: LatticeBackend,
+    members: &[FuncId],
+    recursive: bool,
+    base: &[FunctionSummary],
+) -> CompOut {
+    // Optimistic start for recursion: assume every parameter of every
+    // member is < ret, then descend (greatest fixpoint).
+    let mut local: Vec<FunctionSummary> = if recursive {
+        members
+            .iter()
+            .map(|&f| {
+                let n = module.function(f).params.len() as u32;
+                FunctionSummary { args_lt_ret: (0..n).collect() }
+            })
+            .collect()
+    } else {
+        vec![FunctionSummary::default(); members.len()]
+    };
+    let mut solves = 0u64;
+    let space = SccSpace::new(module, index, members);
+    loop {
+        let view = SccView { base, members, local: &local };
+        let raw = constraints::generate_scoped(module, ranges, cfg, index, members, &view);
+        let local_cs: Vec<Constraint> = raw.iter().map(|c| space.remap(c)).collect();
+        let solution = solver.solve_with(&local_cs, space.len(), lattice);
+        solves += 1;
+        let mut changed = false;
+        for (i, &f) in members.iter().enumerate() {
+            let new = distil(module, index, &space, &solution, f);
+            if new != local[i] {
+                local[i] = new;
+                changed = true;
+            }
+        }
+        // Non-recursive components never read their own summary, so one
+        // solve is the fixpoint. Recursive components iterate: the
+        // optimistic start only ever *sheds* facts, so the descent is
+        // bounded by the total fact count.
+        if !recursive || !changed {
+            break;
+        }
+    }
+    CompOut { summaries: local, solves }
 }
 
 /// Distils `f`'s summary from a solved per-SCC system: `j` is a fact iff
@@ -388,6 +555,7 @@ impl SccSpace {
 mod tests {
     use super::*;
     use crate::engine::SolverKind;
+    use crate::jobs::Jobs;
 
     fn summaries(src: &str) -> (Module, ModuleSummaries) {
         let mut m = sraa_minic::compile(src).unwrap();
@@ -400,6 +568,7 @@ mod tests {
             &index,
             SolverKind::Scc.solver(),
             LatticeBackend::Auto,
+            Jobs::default(),
         );
         (m, sums)
     }
@@ -545,6 +714,7 @@ mod tests {
             &index,
             solver,
             LatticeBackend::Auto,
+            Jobs::default(),
         );
         let keys = SummaryKeys::compute(&m);
         let cache = persist::from_bytes(
@@ -560,6 +730,7 @@ mod tests {
             &index,
             solver,
             LatticeBackend::Auto,
+            Jobs::default(),
             Some(&cache),
         );
         assert_eq!(warm_keys, keys, "keys must not depend on who builds the condensation");
@@ -579,10 +750,74 @@ mod tests {
             &index,
             solver,
             LatticeBackend::Auto,
+            Jobs::default(),
             None,
         );
         assert_eq!(cold2, cold);
         assert_eq!(zero, CacheOutcome::default());
+    }
+
+    /// A module wide enough that jobs > 1 genuinely takes the
+    /// work-stealing branch: `width` independent straight-line helpers
+    /// (one wavefront layer) with enough instructions to clear
+    /// [`WAVEFRONT_MIN_INSTRUCTIONS`], plus callers that chain them.
+    fn wide_source(width: usize, depth: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for i in 0..width {
+            let _ = writeln!(s, "int wf{i}(int a, int b) {{");
+            let _ = writeln!(s, "    int x0 = a + 1;");
+            let _ = writeln!(s, "    int x1 = x0 + b;");
+            for j in 2..depth {
+                let _ = writeln!(s, "    int x{j} = x{} + {};", j - 1, (i + j) % 9 + 1);
+            }
+            let _ = writeln!(s, "    return x{} + 1;", depth - 1);
+            let _ = writeln!(s, "}}");
+        }
+        let _ = writeln!(s, "int rec(int i, int n) {{");
+        let _ = writeln!(s, "    if (n <= 0) {{ return i + 1; }}");
+        let _ = writeln!(s, "    return rec(wf0(i, 1), n - 1);");
+        let _ = writeln!(s, "}}");
+        s.push_str("int main() {\n    int s = 0;\n");
+        for i in 0..width {
+            let _ = writeln!(s, "    s = s + wf{i}({}, {});", i % 5, i % 3 + 1);
+        }
+        s.push_str("    s = s + rec(1, 3);\n    return s;\n}\n");
+        s
+    }
+
+    #[test]
+    fn jobs_do_not_change_summaries_or_stats() {
+        let src = wide_source(24, 80);
+        let mut m = sraa_minic::compile(&src).unwrap();
+        let (ranges, _) = sraa_essa::transform_module(&mut m);
+        let index = VarIndex::new(&m);
+        let total_insts: usize = m.functions().map(|(_, f)| f.num_insts()).sum();
+        assert!(
+            total_insts >= WAVEFRONT_MIN_INSTRUCTIONS,
+            "test module too small ({total_insts} insts) to exercise the parallel branch"
+        );
+        let solver = SolverKind::Scc.solver();
+        let run = |jobs: Jobs| {
+            ModuleSummaries::compute(
+                &m,
+                &ranges,
+                GenConfig::default(),
+                &index,
+                solver,
+                LatticeBackend::Auto,
+                jobs,
+            )
+        };
+        let serial = run(Jobs::parse("1").unwrap());
+        for n in ["2", "4", "7"] {
+            let parallel = run(Jobs::parse(n).unwrap());
+            // Full struct equality: summaries AND stats (solves included —
+            // the per-worker counters must reduce to the serial total).
+            assert_eq!(serial, parallel, "jobs={n} diverged from jobs=1");
+        }
+        assert!(serial.facts() > 0, "the wide module must prove some facts");
+        assert_eq!(serial.stats.recursive_sccs, 1);
     }
 
     #[test]
@@ -605,6 +840,7 @@ mod tests {
             &index,
             SolverKind::Scc.solver(),
             LatticeBackend::Auto,
+            Jobs::default(),
         );
         let b = ModuleSummaries::compute(
             &m,
@@ -613,6 +849,7 @@ mod tests {
             &index,
             SolverKind::Worklist.solver(),
             LatticeBackend::Auto,
+            Jobs::default(),
         );
         assert_eq!(a, b);
     }

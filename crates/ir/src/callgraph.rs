@@ -147,7 +147,27 @@ impl CallGraph {
                 comp.len() > 1 || comp.iter().any(|&f| self.callees(f).binary_search(&f).is_ok())
             })
             .collect();
-        Condensation { sccs, comp_of, recursive }
+
+        // Cross-component call edges, per caller component, sorted and
+        // deduplicated. Tarjan emits callees first, so every recorded edge
+        // points at a strictly smaller component index.
+        let mut callee_comps: Vec<Vec<u32>> = vec![Vec::new(); sccs.len()];
+        for (f, cs) in self.callees.iter().enumerate() {
+            let cf = comp_of[f];
+            for &g in cs {
+                let cg = comp_of[g.index()];
+                if cg != cf {
+                    debug_assert!(cg < cf, "condensation order must be callees-first");
+                    callee_comps[cf as usize].push(cg);
+                }
+            }
+        }
+        for cs in &mut callee_comps {
+            cs.sort_unstable();
+            cs.dedup();
+        }
+
+        Condensation { sccs, comp_of, recursive, callee_comps }
     }
 }
 
@@ -161,6 +181,10 @@ pub struct Condensation {
     /// Whether the component contains a cycle (multi-member, or a
     /// self-calling function).
     recursive: Vec<bool>,
+    /// `callee_comps[i]` — components that members of `i` call into,
+    /// excluding `i` itself; ascending, deduplicated. Every entry is
+    /// strictly smaller than `i` (callees-first emission order).
+    callee_comps: Vec<Vec<u32>>,
 }
 
 impl Condensation {
@@ -197,6 +221,43 @@ impl Condensation {
     /// Components in bottom-up (callees-before-callers) order.
     pub fn bottom_up(&self) -> impl Iterator<Item = (usize, &[FuncId])> {
         self.sccs.iter().enumerate().map(|(i, c)| (i, c.as_slice()))
+    }
+
+    /// The components that members of `i` call into (excluding `i`
+    /// itself), ascending and deduplicated. Every entry is strictly
+    /// smaller than `i`.
+    pub fn callee_components(&self, i: usize) -> &[u32] {
+        &self.callee_comps[i]
+    }
+
+    /// Kahn levelization of the component DAG: returns the components
+    /// grouped into wavefront layers, bottom-up. Layer 0 holds the
+    /// components with no cross-component callees; a component's layer is
+    /// `1 + max(layer of its callee components)`. Components within a
+    /// layer share no call edges in either direction, so their summaries
+    /// can be solved independently (and, in particular, concurrently).
+    ///
+    /// Within each layer, component indices are ascending; concatenating
+    /// the layers yields a valid bottom-up order. Deterministic: depends
+    /// only on the module.
+    pub fn layers(&self) -> Vec<Vec<u32>> {
+        if self.sccs.is_empty() {
+            return Vec::new();
+        }
+        // One forward pass suffices: callee components always have
+        // smaller indices, so their levels are already final.
+        let mut level = vec![0u32; self.sccs.len()];
+        let mut max_level = 0u32;
+        for c in 0..self.sccs.len() {
+            let l = self.callee_comps[c].iter().map(|&d| level[d as usize] + 1).max().unwrap_or(0);
+            level[c] = l;
+            max_level = max_level.max(l);
+        }
+        let mut layers: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+        for (c, &l) in level.iter().enumerate() {
+            layers[l as usize].push(c as u32);
+        }
+        layers
     }
 }
 
@@ -306,5 +367,98 @@ mod tests {
         let cond = CallGraph::build(&Module::new()).condense();
         assert!(cond.is_empty());
         assert_eq!(cond.len(), 0);
+        assert!(cond.layers().is_empty());
+    }
+
+    /// Checks the structural layer invariants on any condensation:
+    /// every component appears exactly once, layers concatenate to a
+    /// bottom-up order, and every cross-component call edge crosses to a
+    /// strictly lower layer.
+    fn assert_layer_invariants(cond: &Condensation) {
+        let layers = cond.layers();
+        let mut seen = vec![false; cond.len()];
+        let mut layer_of = vec![0usize; cond.len()];
+        for (l, layer) in layers.iter().enumerate() {
+            assert!(!layer.is_empty(), "no layer may be empty");
+            assert!(layer.windows(2).all(|w| w[0] < w[1]), "layer indices ascending");
+            for &c in layer {
+                assert!(!seen[c as usize], "component {c} appears twice");
+                seen[c as usize] = true;
+                layer_of[c as usize] = l;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every component appears in some layer");
+        for c in 0..cond.len() {
+            for &d in cond.callee_components(c) {
+                assert!(
+                    layer_of[d as usize] < layer_of[c],
+                    "callee component {d} must sit strictly below caller {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_layers_are_singletons() {
+        let m = call_module(3, &[(0, 1), (1, 2)]);
+        let cond = CallGraph::build(&m).condense();
+        let layers = cond.layers();
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.len() == 1));
+        assert_layer_invariants(&cond);
+    }
+
+    #[test]
+    fn diamond_middle_shares_a_layer() {
+        // 0 -> {1, 2} -> 3: the two middle functions are independent and
+        // must land in the same wavefront.
+        let m = call_module(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cond = CallGraph::build(&m).condense();
+        let layers = cond.layers();
+        assert_eq!(layers.len(), 3);
+        let mid: Vec<usize> =
+            layers[1].iter().map(|&c| cond.members(c as usize)[0].index()).collect();
+        assert_eq!(mid, vec![1, 2]);
+        assert_layer_invariants(&cond);
+    }
+
+    #[test]
+    fn disconnected_leaves_share_layer_zero() {
+        // Three leaves with no calls at all, plus one caller of f0.
+        let m = call_module(4, &[(3, 0)]);
+        let cond = CallGraph::build(&m).condense();
+        let layers = cond.layers();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 3);
+        assert_eq!(layers[1].len(), 1);
+        assert_layer_invariants(&cond);
+    }
+
+    #[test]
+    fn recursive_component_is_one_layer_node() {
+        // Cycle {3,4} feeding a diamond above it (same shape as
+        // `callees_always_precede_callers`).
+        let m = call_module(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 3)]);
+        let cond = CallGraph::build(&m).condense();
+        assert_layer_invariants(&cond);
+        let layers = cond.layers();
+        // {3,4} is the sole layer-0 component; 1 and 2 share layer 1.
+        assert_eq!(layers.len(), 3);
+        assert_eq!(cond.members(layers[0][0] as usize).len(), 2);
+        assert_eq!(layers[1].len(), 2);
+        // A self-loop adds no cross-component edge.
+        assert!(cond.callee_components(layers[0][0] as usize).is_empty());
+    }
+
+    #[test]
+    fn callee_components_are_sorted_and_deduplicated() {
+        // f3 calls into f0, f1, f2 (several call sites each).
+        let m = call_module(4, &[(3, 2), (3, 0), (3, 1), (3, 2), (3, 0)]);
+        let cond = CallGraph::build(&m).condense();
+        let c3 = cond.component_of(FuncId::from_index(3));
+        let cs = cond.callee_components(c3);
+        assert_eq!(cs.len(), 3);
+        assert!(cs.windows(2).all(|w| w[0] < w[1]));
+        assert_layer_invariants(&cond);
     }
 }

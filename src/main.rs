@@ -35,7 +35,7 @@ use sraa::alias::{
     SteensgaardAnalysis, StrictInequalityAa,
 };
 use sraa::ir::{InstKind, Interpreter, ModuleStats};
-use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, LatticeBackend, SolverKind};
+use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, Jobs, LatticeBackend, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -64,6 +64,9 @@ fn main() {
                  \n                              eval/lt/pdg/opt (default scc)\
                  \n  --lattice {{auto,arc,dense}}  lattice-store backend for\
                  \n                              eval/lt/pdg/opt (default auto)\
+                 \n  --jobs {{N,auto}}             worker threads for parallel\
+                 \n                              summary solves (default auto:\
+                 \n                              SRAA_JOBS, else all cores)\
                  \n  --interproc                 bottom-up call summaries for\
                  \n                              eval/lt/pdg/opt (default intra)\
                  \n  --summary-cache <path>      persist summaries between runs;\
@@ -76,12 +79,15 @@ fn main() {
     exit(code);
 }
 
-/// Extracts `--solver <kind>`, `--lattice <backend>`, `--interproc` and
-/// `--summary-cache <path>` from `args`, returning the remaining
-/// arguments and the chosen [`EngineConfig`] knobs (defaults:
-/// [`SolverKind::Scc`], [`LatticeBackend::Auto`],
+/// Extracts `--solver <kind>`, `--lattice <backend>`, `--jobs <n>`,
+/// `--interproc` and `--summary-cache <path>` from `args`, returning the
+/// remaining arguments and the chosen [`EngineConfig`] knobs (defaults:
+/// [`SolverKind::Scc`], [`LatticeBackend::Auto`], [`Jobs::Auto`],
 /// [`Contextuality::Intra`], no cache). `--summary-cache` implies
-/// `--interproc` — the cache stores interprocedural summaries.
+/// `--interproc` — the cache stores interprocedural summaries. An
+/// explicit `--jobs` count beats the `SRAA_JOBS` environment variable;
+/// whichever wins is reported on **stderr** (stdout must stay
+/// byte-identical across every jobs value).
 fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32> {
     let mut cfg = EngineConfig::default();
     let (rest, solver) = take_value_flag(args, "--solver")?;
@@ -99,6 +105,19 @@ fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32
             return Err(2);
         };
         cfg.lattice = b;
+    }
+    let (rest, jobs) = take_value_flag(&rest, "--jobs")?;
+    if let Some(value) = jobs {
+        let Some(j) = Jobs::parse(&value) else {
+            eprintln!("invalid --jobs `{value}` (expected a positive thread count or `auto`)");
+            return Err(2);
+        };
+        cfg.jobs = j;
+    }
+    match (cfg.jobs, Jobs::from_env()) {
+        (Jobs::N(n), _) => eprintln!("# jobs: {n} (flag)"),
+        (Jobs::Auto, Some(Jobs::N(n))) => eprintln!("# jobs: {n} (env)"),
+        _ => {} // hardware default; invalid SRAA_JOBS values are ignored
     }
     let (rest, interproc) = take_flag(&rest, "--interproc");
     if interproc {
@@ -211,8 +230,8 @@ fn cmd_compile(args: &[String]) -> i32 {
 
 fn cmd_eval(args: &[String]) -> i32 {
     const USAGE: &str =
-        "sraa eval <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--interproc] \
-         [--summary-cache <path>]";
+        "sraa eval <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
+         [--interproc] [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -254,7 +273,8 @@ fn cmd_eval(args: &[String]) -> i32 {
 
 fn cmd_lt(args: &[String]) -> i32 {
     const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] \
-                         [--lattice auto|arc|dense] [--interproc] [--summary-cache <path>]";
+                         [--lattice auto|arc|dense] [--jobs N] [--interproc] \
+                         [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -340,8 +360,8 @@ fn cmd_run(args: &[String]) -> i32 {
 
 fn cmd_pdg(args: &[String]) -> i32 {
     const USAGE: &str =
-        "sraa pdg <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--interproc] \
-         [--summary-cache <path>]";
+        "sraa pdg <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
+         [--interproc] [--summary-cache <path>]";
     let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -369,7 +389,8 @@ fn cmd_pdg(args: &[String]) -> i32 {
 
 fn cmd_opt(args: &[String]) -> i32 {
     const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] \
-                         [--lattice auto|arc|dense] [--interproc] [--summary-cache <path>]";
+                         [--lattice auto|arc|dense] [--jobs N] [--interproc] \
+                         [--summary-cache <path>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     let (args, ba_only) = take_flag(&args, "--ba");
     if let Err(code) = reject_unknown_flags(&args, USAGE) {

@@ -45,6 +45,7 @@ fn prepare(src: &str) -> Prepared {
         &index,
         SolverKind::Scc.solver(),
         LatticeBackend::Auto,
+        sraa_core::Jobs::default(),
     );
     let keys = SummaryKeys::compute(&module);
     Prepared { module, ranges, index, sums, keys }
@@ -82,6 +83,7 @@ fn warm(p: &Prepared, cache: &persist::SummaryCache) -> (ModuleSummaries, CacheO
         &p.index,
         SolverKind::Scc.solver(),
         LatticeBackend::Auto,
+        sraa_core::Jobs::default(),
         Some(cache),
     );
     assert_eq!(keys, p.keys, "internally computed keys must match the standalone ones");
@@ -317,6 +319,7 @@ fn golden_bytes() -> Vec<u8> {
         &index,
         SolverKind::Scc.solver(),
         LatticeBackend::Auto,
+        sraa_core::Jobs::default(),
     );
     assert_eq!(sums.of(m.function_by_name("next").unwrap()).args_lt_ret(), &[0], "i < next(i)");
     let keys = SummaryKeys::compute(&m);

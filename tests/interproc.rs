@@ -133,6 +133,7 @@ fn ondemand_prover_agrees_on_summary_systems() {
         &index,
         SolverKind::Scc.solver(),
         sraa_core::LatticeBackend::Auto,
+        sraa_core::Jobs::default(),
     );
     let sys = sraa_core::generate_with_summaries(&m, &ranges, GenConfig::default(), &index, &sums);
     let solution = sraa_core::solve(&sys.constraints, sys.num_vars);
