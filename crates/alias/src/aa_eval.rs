@@ -6,8 +6,11 @@
 //! one query per unordered pair, tallying `NoAlias` / `MayAlias` /
 //! `MustAlias` verdicts per analysis.
 
-use crate::{AliasAnalysis, AliasResult};
-use sraa_ir::{FuncId, Module, Type, Value};
+use crate::{
+    AliasAnalysis, AliasResult, AndersenAnalysis, BasicAliasAnalysis, Combined, PentagonAa,
+    SteensgaardAnalysis, StrictInequalityAa,
+};
+use sraa_ir::{FuncId, Module, ModuleStats, Type, Value};
 
 /// Per-analysis tallies over one module.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -95,10 +98,53 @@ impl AaEval {
     }
 }
 
+/// Renders the `sraa eval` report — header line plus one verdict row per
+/// analysis (BA, LT, CF, ST, PT, BA+LT) — for a module already analysed
+/// by `lt`. This is the single source of truth for that text: the CLI's
+/// one-shot `eval` prints it, and the resident daemon (`sraa serve`)
+/// pre-renders it at upload time so an `eval` query is a string lookup
+/// whose reply stays byte-identical to `sraa eval`.
+///
+/// The module must be in e-SSA form (it is after building `lt`).
+pub fn render_eval(module: &Module, lt: &StrictInequalityAa) -> String {
+    use std::fmt::Write;
+    let ba = BasicAliasAnalysis::new(module);
+    let cf = AndersenAnalysis::new(module);
+    let st = SteensgaardAnalysis::new(module);
+    let pt = PentagonAa::on_prepared(module); // the engine already produced e-SSA
+    let ba_lt =
+        Combined::new(vec![Box::new(BasicAliasAnalysis::new(module)), Box::new(lt.clone())]);
+    let stats = ModuleStats::compute(module);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} function(s), {} instruction(s), {} queries",
+        stats.functions,
+        stats.instructions,
+        AaEval::num_queries(module)
+    )
+    .expect("String write");
+    let analyses: Vec<&dyn AliasAnalysis> = vec![&ba, lt, &cf, &st, &pt, &ba_lt];
+    writeln!(out, "{:<8} {:>10} {:>10} {:>10} {:>8}", "analysis", "no-alias", "may", "must", "%no")
+        .expect("String write");
+    for s in AaEval::run(module, &analyses) {
+        writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>10} {:>7.2}%",
+            s.name,
+            s.no_alias,
+            s.may_alias,
+            s.must_alias,
+            s.no_alias_rate()
+        )
+        .expect("String write");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BasicAliasAnalysis, Combined, StrictInequalityAa};
 
     #[test]
     fn totals_agree_across_analyses() {
@@ -146,6 +192,22 @@ mod tests {
         assert!(both.no_alias >= ba_s.no_alias);
         assert!(both.no_alias >= lt_s.no_alias);
         assert_eq!(both.name, "BA+LT");
+    }
+
+    #[test]
+    fn render_eval_reports_every_analysis() {
+        let mut m =
+            sraa_minic::compile("int main() { int a[4]; a[0] = 1; a[1] = 2; return a[0] + a[1]; }")
+                .unwrap();
+        let lt = StrictInequalityAa::new(&mut m);
+        let text = render_eval(&m, &lt);
+        assert!(text.starts_with("1 function(s)"), "header first: {text}");
+        for name in ["analysis", "BA", "LT", "CF", "ST", "PT", "BA+LT"] {
+            assert!(text.contains(name), "missing row {name}: {text}");
+        }
+        assert_eq!(text.lines().count(), 8, "header + column row + 6 analyses");
+        // Deterministic: two renders of the same engine agree byte-for-byte.
+        assert_eq!(text, render_eval(&m, &lt));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod lt;
 pub mod pentagon;
 pub mod steensgaard;
 
-pub use aa_eval::{AaEval, EvalSummary};
+pub use aa_eval::{render_eval, AaEval, EvalSummary};
 pub use andersen::AndersenAnalysis;
 pub use basic::BasicAliasAnalysis;
 pub use lt::StrictInequalityAa;

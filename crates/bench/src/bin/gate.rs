@@ -44,7 +44,9 @@
 //!   its own serial leg (`parallel.speedup_over_serial ≥ 1.0`) — but
 //!   only when the fresh run actually had workers (`parallel.jobs ≥ 2`);
 //!   on a single-core host both legs run the identical serial path and
-//!   the row is informational.
+//!   the row is informational. The resident daemon must likewise beat the
+//!   one-shot path it replaces (`serve.resident_query_us ≤
+//!   serve.oneshot_warm_us`).
 
 use std::process::exit;
 
@@ -178,6 +180,20 @@ fn main() {
     // sharded warm pass may not be slower than the serial one (within
     // the time tolerance), whatever the baseline recorded.
     gate.at_most("incremental.sharded_vs_warm", finc.num("warm_us"), finc.num("sharded_warm_us"));
+    // The resident daemon: a warm re-upload round trip and one resident
+    // query over the loopback socket, normalised like every other
+    // wall-clock metric.
+    let (bserve, fserve) = (baseline.section("serve"), fresh.section("serve"));
+    gate.at_most(
+        "serve.upload_us/calibration",
+        bserve.num("upload_us") / bc,
+        fserve.num("upload_us") / fc,
+    );
+    gate.at_most(
+        "serve.resident_query/calib",
+        bserve.num("resident_query_us") / bc,
+        fserve.num("resident_query_us") / fc,
+    );
     // Lattice backends, normalised like the solver totals.
     gate.at_most("lattice.arc_us/calibration", blat.num("arc_us") / bc, flat.num("arc_us") / fc);
     gate.at_most(
@@ -207,6 +223,13 @@ fn main() {
     // fails outright, whatever the baseline says.
     let speedup = fresh.num("scc_speedup_over_worklist");
     gate.row("scc_speedup_over_worklist", 1.0, speedup, speedup >= 1.0);
+    // The daemon's whole point, enforced on the fresh run: answering from
+    // the resident engine — loopback round trip included — must beat a
+    // one-shot process paying compile + warm engine build for the same
+    // answer.
+    let resident = fserve.num("resident_query_us");
+    let oneshot = fserve.num("oneshot_warm_us");
+    gate.row("serve.resident_vs_oneshot_warm", oneshot, resident, resident <= oneshot);
     // The wavefront fan-out must pay for its threads on runs that had
     // any: with ≥ 2 workers the parallel leg may not lose to the serial
     // one. On a single-core host both legs run the identical serial

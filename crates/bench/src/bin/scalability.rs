@@ -20,7 +20,12 @@
 //!   the host's parallelism is recorded so the gate only enforces the
 //!   floor where threads exist);
 //! * the dense backend's `Inter` hot path on a deterministic
-//!   intersection-heavy system (`dense_inter_us`).
+//!   intersection-heavy system (`dense_inter_us`);
+//! * the resident daemon (`sraa serve`) — a warm re-upload round trip
+//!   (`serve.upload_us`), one resident `no-alias` query over the socket
+//!   (`serve.resident_query_us`), and what the same answer costs a fresh
+//!   one-shot process even with a warm summary cache in hand
+//!   (`serve.oneshot_warm_us`; the gate enforces resident ≤ one-shot).
 //!
 //! Besides the human-readable table, the run emits machine-readable
 //! `BENCH_scalability.json` in the working directory so CI can track the
@@ -250,6 +255,17 @@ fn main() {
     let inter_us = dense_inter_us();
     println!("dense Inter hot path     : {inter_us:.0}µs (chain ∪ / nested ∩ system)");
 
+    let serve = serve_stats();
+    println!();
+    println!(
+        "resident daemon (serve)  : warm upload {:.0}µs, resident query {:.1}µs, \
+         one-shot warm {:.0}µs ({:.1}x)",
+        serve.upload_us,
+        serve.resident_query_us,
+        serve.oneshot_warm_us,
+        serve.oneshot_warm_us / serve.resident_query_us.max(1e-9)
+    );
+
     let calibration_us = calibrate();
     let json = render_json(
         &ws.len(),
@@ -261,6 +277,7 @@ fn main() {
         &inter,
         &inc,
         &par,
+        &serve,
         inter_us,
         calibration_us,
         peak_rss_kb(),
@@ -562,6 +579,98 @@ fn dense_inter_us() -> f64 {
     best
 }
 
+/// The resident daemon vs the one-shot path: what `sraa serve` saves.
+/// `upload_us` is a warm re-upload round trip (compile on the daemon +
+/// incremental classify with zero solves + re-render); `resident_query_us`
+/// is one `no-alias` query against the resident engine — a loopback
+/// socket round trip plus a memoized lookup; `oneshot_warm_us` is what
+/// the same answer costs without the daemon: compile + e-SSA + a warm
+/// engine build against an in-memory summary cache + the query. The gate
+/// enforces resident ≤ one-shot warm on every fresh run — the daemon's
+/// reason to exist.
+struct ServeBenchStats {
+    upload_us: f64,
+    resident_query_us: f64,
+    oneshot_warm_us: f64,
+}
+
+fn serve_stats() -> ServeBenchStats {
+    use sraa_serve::{obj, Client, Json, Server, ServerConfig};
+    let w = sraa_synth::call_suite(suite_n().min(24)).pop().expect("call suite is non-empty");
+
+    // Cold local build: produces the warm in-memory cache and picks the
+    // question both paths answer (the first function with two pointers).
+    let mut m0 = sraa_minic::compile(&w.source).expect("workload compiles");
+    let engine0 =
+        sraa_core::DisambiguationEngine::build_with_cache(&mut m0, EngineConfig::default(), None);
+    let cache = engine0.export_summary_cache(&m0).expect("summaries mode");
+    let (fname, _, v1, v2) = m0
+        .functions()
+        .find_map(|(fid, f)| {
+            let ptrs = sraa_alias::AaEval::pointer_values(&m0, fid);
+            (ptrs.len() >= 2).then(|| (f.name.clone(), fid, ptrs[0], ptrs[1]))
+        })
+        .expect("call-heavy workload has pointer pairs");
+
+    // One-shot warm: everything a fresh `sraa` process pays for one
+    // answer, even with a fully warm summary cache already in hand.
+    let mut oneshot = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let mut m = sraa_minic::compile(&w.source).expect("workload compiles");
+        let engine = sraa_core::DisambiguationEngine::build_with_cache(
+            &mut m,
+            EngineConfig::default(),
+            Some(&cache),
+        );
+        let fid = m.function_by_name(&fname).expect("function survives recompilation");
+        std::hint::black_box(engine.no_alias(m.function(fid), fid, v1, v2));
+        oneshot = oneshot.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // The daemon on loopback TCP: prime with a cold upload, then time
+    // warm re-uploads and resident queries as whole round trips.
+    let server =
+        Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind loopback daemon");
+    let mut upload = f64::INFINITY;
+    let mut resident = f64::INFINITY;
+    std::thread::scope(|scope| {
+        let addr = server.tcp_addr().expect("tcp daemon has an address");
+        scope.spawn(|| server.run().expect("serve loop"));
+        let mut client = Client::connect_tcp(addr).expect("connect to daemon");
+        let up_req = obj([
+            ("cmd", Json::Str("upload".into())),
+            ("name", Json::Str("bench".into())),
+            ("source", Json::Str(w.source.clone())),
+        ]);
+        let r = client.request(&up_req).expect("cold upload");
+        assert!(r.is_ok(), "upload failed: {r:?}");
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = client.request(&up_req).expect("warm re-upload");
+            upload = upload.min(t0.elapsed().as_secs_f64() * 1e6);
+            assert!(r.is_ok(), "re-upload failed: {r:?}");
+        }
+        let q = obj([
+            ("cmd", Json::Str("no-alias".into())),
+            ("module", Json::Str("bench".into())),
+            ("func", Json::Str(fname.clone())),
+            ("p1", Json::Str(format!("{v1}"))),
+            ("p2", Json::Str(format!("{v2}"))),
+        ]);
+        let r = client.request(&q).expect("warmup query");
+        assert!(r.is_ok(), "query failed: {r:?}");
+        for _ in 0..30 {
+            let t0 = Instant::now();
+            let r = client.request(&q).expect("resident query");
+            resident = resident.min(t0.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(r);
+        }
+        client.request(&obj([("cmd", Json::Str("shutdown".into()))])).expect("graceful shutdown");
+    });
+    ServeBenchStats { upload_us: upload, resident_query_us: resident, oneshot_warm_us: oneshot }
+}
+
 /// Solve time of one fixed reference system (best of five) — a proxy for
 /// machine speed that lets the gate normalise wall-clock metrics across
 /// hosts: `total_us / calibration_us` is comparable between a laptop
@@ -599,6 +708,7 @@ fn render_json(
     inter: &InterprocStats,
     inc: &IncrementalStats,
     par: &ParallelStats,
+    serve: &ServeBenchStats,
     dense_inter_us: f64,
     calibration_us: f64,
     peak_rss_kb: u64,
@@ -635,6 +745,11 @@ fn render_json(
     let _ = writeln!(s, "    \"sharded_warm_us\": {:.1},", inc.sharded_warm_us);
     let _ = writeln!(s, "    \"shards\": {},", inc.shards);
     let _ = writeln!(s, "    \"hit_rate\": {:.4}", inc.hit_rate);
+    s.push_str("  },\n");
+    s.push_str("  \"serve\": {\n");
+    let _ = writeln!(s, "    \"upload_us\": {:.1},", serve.upload_us);
+    let _ = writeln!(s, "    \"resident_query_us\": {:.1},", serve.resident_query_us);
+    let _ = writeln!(s, "    \"oneshot_warm_us\": {:.1}", serve.oneshot_warm_us);
     s.push_str("  },\n");
     s.push_str("  \"solvers\": [\n");
     for (i, t) in totals.iter().enumerate() {

@@ -375,22 +375,8 @@ impl DisambiguationEngine {
                         }
                     };
                     let had_entries = cache.as_ref().is_some_and(|c| !c.is_empty());
-                    let (sums, keys, mut outcome) = ModuleSummaries::compute_incremental(
-                        module,
-                        ranges,
-                        cfg.gen,
-                        &index,
-                        solver,
-                        cfg.lattice,
-                        cfg.jobs,
-                        cache.as_ref(),
-                    );
-                    if cache.is_none() {
-                        // No usable cache at all: every function was a
-                        // miss, so a first (or fallback) run reports an
-                        // honest 0% hit rate rather than a vacuous 100%.
-                        outcome.misses = module.num_functions() as u32;
-                    }
+                    let (sums, keys, outcome) =
+                        Self::summaries_from_cache(module, ranges, &cfg, &index, cache.as_ref());
                     if had_entries && outcome.hits == 0 && module.num_functions() > 0 {
                         eprintln!(
                             "# summary-cache warning: {}: no cached summary matched this \
@@ -409,6 +395,101 @@ impl DisambiguationEngine {
                 }
             },
         };
+        Self::assemble(module, ranges, cfg, index, summaries, summary_t0, cache_outcome)
+    }
+
+    /// Builds the engine in interprocedural mode against a caller-held
+    /// **in-memory** summary cache — the resident-daemon path
+    /// (`sraa serve`). No file IO happens: the caller owns persistence
+    /// (see [`DisambiguationEngine::export_summary_cache`] for the other
+    /// half of the round trip). The warm/cold outcome lands in the
+    /// [`SolveStats`] cache counters exactly like the file-backed path,
+    /// and re-building against the cache of a previous build invalidates
+    /// exactly the reverse-reachability closure of the edit (same
+    /// key scheme, same `compute_incremental` path).
+    ///
+    /// The module is mutated (converted to e-SSA form) and
+    /// [`Contextuality::Summaries`] is implied; any `summary_cache` path
+    /// in `cfg` is ignored.
+    pub fn build_with_cache(
+        module: &mut Module,
+        cfg: EngineConfig,
+        cache: Option<&persist::SummaryCache>,
+    ) -> Self {
+        let (ranges, _) = sraa_essa::transform_module(module);
+        Self::on_prepared_with_cache(module, &ranges, cfg, cache)
+    }
+
+    /// [`DisambiguationEngine::build_with_cache`] over a module already in
+    /// e-SSA form, with caller-provided ranges.
+    pub fn on_prepared_with_cache(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        mut cfg: EngineConfig,
+        cache: Option<&persist::SummaryCache>,
+    ) -> Self {
+        cfg.contextuality = Contextuality::Summaries;
+        cfg.summary_cache = None;
+        let index = VarIndex::new(module);
+        let summary_t0 = std::time::Instant::now();
+        let (sums, _keys, outcome) =
+            Self::summaries_from_cache(module, ranges, &cfg, &index, cache);
+        Self::assemble(module, ranges, cfg, index, Some(sums), summary_t0, outcome)
+    }
+
+    /// The engine's current summaries as an in-memory [`persist::SummaryCache`] —
+    /// what a resident daemon hands back to
+    /// [`DisambiguationEngine::build_with_cache`] on the next upload of
+    /// the same module. `module` must be the (e-SSA) module this engine
+    /// was built on. `None` for intraprocedural engines, which carry no
+    /// summaries to cache.
+    pub fn export_summary_cache(&self, module: &Module) -> Option<persist::SummaryCache> {
+        let sums = self.summaries.as_ref()?;
+        let keys = persist::SummaryKeys::compute(module);
+        Some(persist::SummaryCache::from_parts(module, sums, &keys))
+    }
+
+    /// The shared incremental summary phase: classify every component
+    /// against `cache` (reusing hits, re-solving the rest) and keep the
+    /// hit/miss accounting honest when there was no usable cache at all.
+    fn summaries_from_cache(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        cfg: &EngineConfig,
+        index: &VarIndex,
+        cache: Option<&persist::SummaryCache>,
+    ) -> (ModuleSummaries, persist::SummaryKeys, CacheOutcome) {
+        let (sums, keys, mut outcome) = ModuleSummaries::compute_incremental(
+            module,
+            ranges,
+            cfg.gen,
+            index,
+            cfg.solver.solver(),
+            cfg.lattice,
+            cfg.jobs,
+            cache,
+        );
+        if cache.is_none() {
+            // No usable cache at all: every function was a miss, so a
+            // first (or fallback) run reports an honest 0% hit rate
+            // rather than a vacuous 100%.
+            outcome.misses = module.num_functions() as u32;
+        }
+        (sums, keys, outcome)
+    }
+
+    /// The tail of every construction path: constraint generation, the
+    /// module-wide solve(s), and per-phase stats attribution.
+    fn assemble(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        cfg: EngineConfig,
+        index: VarIndex,
+        summaries: Option<ModuleSummaries>,
+        summary_t0: std::time::Instant,
+        cache_outcome: CacheOutcome,
+    ) -> Self {
+        let solver = cfg.solver.solver();
         let summary_build_ns =
             if summaries.is_some() { summary_t0.elapsed().as_nanos() as u64 } else { 0 };
         let mut sys = match &summaries {

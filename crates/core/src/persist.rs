@@ -207,6 +207,19 @@ pub struct SummaryCache {
 }
 
 impl SummaryCache {
+    /// Builds an **in-memory** cache from freshly computed summaries and
+    /// keys — the resident-daemon path, where the cache round-trips
+    /// between builds without touching a file. Equivalent to
+    /// `from_bytes(&to_bytes(module, summaries, keys, cfg), cfg)` minus
+    /// the serialization.
+    pub fn from_parts(module: &Module, summaries: &ModuleSummaries, keys: &SummaryKeys) -> Self {
+        let entries = module
+            .functions()
+            .map(|(fid, f)| (f.name.clone(), (keys.of(fid), summaries.of(fid).clone())))
+            .collect();
+        SummaryCache { entries }
+    }
+
     /// The stored `(key, summary)` for `name`, if present.
     pub fn get(&self, name: &str) -> Option<(u64, &FunctionSummary)> {
         self.entries.get(name).map(|(k, s)| (*k, s))
@@ -486,6 +499,20 @@ mod tests {
             PersistError::ConfigMismatch,
         ] {
             assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_a_serialization_round_trip() {
+        let (m, sums, keys) = cold(SRC);
+        let direct = SummaryCache::from_parts(&m, &sums, &keys);
+        let round =
+            from_bytes(&to_bytes(&m, &sums, &keys, GenConfig::default()), GenConfig::default())
+                .expect("round trip");
+        assert_eq!(direct.len(), round.len());
+        for (fid, f) in m.functions() {
+            assert_eq!(direct.get(&f.name), round.get(&f.name));
+            assert_eq!(direct.lookup(&f.name, keys.of(fid)), Some(sums.of(fid)));
         }
     }
 

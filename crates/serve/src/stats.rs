@@ -1,0 +1,141 @@
+//! Daemon-lifetime counters: connections, queries, cache outcomes and
+//! query-latency percentiles.
+//!
+//! Everything is lock-free atomics except the latency reservoir, which is
+//! a capped `Mutex<Vec<u64>>` — one push per query, read only by `stats`
+//! requests and the shutdown report, so contention is negligible next to
+//! the socket round trip it measures.
+
+use crate::protocol::{obj, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cap on retained per-query latencies: enough for faithful p50/p99 over
+/// any realistic session; after that, new samples are dropped rather than
+/// growing without bound.
+const MAX_LATENCIES: usize = 1 << 16;
+
+/// Counters for one daemon lifetime. Shared by reference across every
+/// connection thread; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Accepted connections.
+    pub connections: AtomicU64,
+    /// Frames received (including malformed ones).
+    pub frames: AtomicU64,
+    /// Successfully answered query requests (`no-alias`, `lt`, `eval`,
+    /// `pairs`, `stats`).
+    pub queries: AtomicU64,
+    /// Successful module uploads.
+    pub uploads: AtomicU64,
+    /// Typed error replies sent.
+    pub errors: AtomicU64,
+    /// Summary-cache hits accumulated over every upload.
+    pub cache_hits: AtomicU64,
+    /// Summary-cache misses accumulated over every upload.
+    pub cache_misses: AtomicU64,
+    /// Summary-cache invalidations accumulated over every upload.
+    pub cache_invalidated: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServeStats {
+    /// Records one query's wall-clock latency.
+    pub fn record_latency(&self, us: u64) {
+        let mut l = self.latencies_us.lock().expect("latencies poisoned");
+        if l.len() < MAX_LATENCIES {
+            l.push(us);
+        }
+    }
+
+    /// Nearest-rank percentiles over the recorded query latencies:
+    /// `(p50, p99)` in microseconds, zeros when nothing was recorded.
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let mut l = self.latencies_us.lock().expect("latencies poisoned").clone();
+        if l.is_empty() {
+            return (0, 0);
+        }
+        l.sort_unstable();
+        let rank = |p: f64| l[((p * l.len() as f64).ceil() as usize).clamp(1, l.len()) - 1];
+        (rank(0.50), rank(0.99))
+    }
+
+    /// The `stats` reply body (also reused by the shutdown report).
+    pub fn snapshot(&self, modules: usize) -> Json {
+        let (p50, p99) = self.latency_percentiles();
+        let n = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as i64);
+        obj([
+            ("ok", Json::Bool(true)),
+            ("modules", Json::Num(modules as i64)),
+            ("connections", n(&self.connections)),
+            ("frames", n(&self.frames)),
+            ("queries", n(&self.queries)),
+            ("uploads", n(&self.uploads)),
+            ("errors", n(&self.errors)),
+            ("cache_hits", n(&self.cache_hits)),
+            ("cache_misses", n(&self.cache_misses)),
+            ("cache_invalidated", n(&self.cache_invalidated)),
+            ("p50_us", Json::Num(p50 as i64)),
+            ("p99_us", Json::Num(p99 as i64)),
+        ])
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    /// The one-line shutdown report (`# serve: …`), printed to stderr by
+    /// the CLI on graceful shutdown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p50, p99) = self.latency_percentiles();
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        write!(
+            f,
+            "# serve: {} connection(s), {} upload(s), {} query(s), {} error(s), \
+             cache {} hit(s)/{} miss(es)/{} invalidated, p50 {p50}us, p99 {p99}us",
+            g(&self.connections),
+            g(&self.uploads),
+            g(&self.queries),
+            g(&self.errors),
+            g(&self.cache_hits),
+            g(&self.cache_misses),
+            g(&self.cache_invalidated),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s = ServeStats::default();
+        assert_eq!(s.latency_percentiles(), (0, 0));
+        for us in 1..=100 {
+            s.record_latency(us);
+        }
+        assert_eq!(s.latency_percentiles(), (50, 99));
+        let one = ServeStats::default();
+        one.record_latency(7);
+        assert_eq!(one.latency_percentiles(), (7, 7));
+    }
+
+    #[test]
+    fn snapshot_and_display_report_every_counter() {
+        let s = ServeStats::default();
+        s.connections.store(2, Ordering::Relaxed);
+        s.queries.store(5, Ordering::Relaxed);
+        s.cache_hits.store(3, Ordering::Relaxed);
+        s.record_latency(10);
+        let snap = s.snapshot(1);
+        assert!(snap.is_ok());
+        assert_eq!(snap.num_field("modules"), Some(1));
+        assert_eq!(snap.num_field("connections"), Some(2));
+        assert_eq!(snap.num_field("queries"), Some(5));
+        assert_eq!(snap.num_field("cache_hits"), Some(3));
+        assert_eq!(snap.num_field("p50_us"), Some(10));
+        let line = format!("{s}");
+        assert!(line.starts_with("# serve: "), "{line}");
+        assert!(line.contains("2 connection(s)"), "{line}");
+        assert!(line.contains("3 hit(s)"), "{line}");
+    }
+}

@@ -8,4 +8,5 @@ pub use sraa_opt as opt;
 pub use sraa_pdg as pdg;
 pub use sraa_pentagon as pentagon;
 pub use sraa_range as range;
+pub use sraa_serve as serve;
 pub use sraa_synth as synth;

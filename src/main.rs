@@ -9,6 +9,8 @@
 //! sraa pdg <file.c>                  PDG memory nodes under BA and BA+LT
 //! sraa opt <file.c> [--ba]           optimise under BA+LT (or BA), print IR
 //! sraa gen <seed> <depth>            emit a Csmith-like random program
+//! sraa serve --socket <p>|--addr <a> resident alias-analysis daemon
+//! sraa query --socket <p>|--addr <a> query a running daemon
 //! ```
 //!
 //! The analysis-driven subcommands (`eval`, `lt`, `pdg`, `opt`) accept
@@ -30,11 +32,8 @@
 //! Unrecognised `--flags` are rejected with exit code 2 (they used to be
 //! silently ignored, which hid typos like `--interporc`).
 
-use sraa::alias::{
-    AaEval, AliasAnalysis, AndersenAnalysis, BasicAliasAnalysis, Combined, PentagonAa,
-    SteensgaardAnalysis, StrictInequalityAa,
-};
-use sraa::ir::{InstKind, Interpreter, ModuleStats};
+use sraa::alias::{render_eval, AliasAnalysis, BasicAliasAnalysis, Combined, StrictInequalityAa};
+use sraa::ir::{InstKind, Interpreter};
 use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, Jobs, LatticeBackend, SolverKind};
 use sraa::pdg::DepGraph;
 use std::process::exit;
@@ -49,9 +48,11 @@ fn main() {
         Some("pdg") => cmd_pdg(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         _ => {
             eprintln!(
-                "usage: sraa <compile|eval|lt|run|pdg|opt|gen> ...\n\
+                "usage: sraa <compile|eval|lt|run|pdg|opt|gen|serve|query> ...\n\
                  \n  compile <file.c> [--essa]   print the (e-)SSA IR\
                  \n  eval    <file.c>            aa-eval verdict summary\
                  \n  lt      <file.c> <func>     LT sets of every value\
@@ -59,6 +60,9 @@ fn main() {
                  \n  pdg     <file.c>            PDG memory nodes\
                  \n  opt     <file.c> [--ba]     alias-driven optimisation\
                  \n  gen     <seed> <depth>      random MiniC program\
+                 \n  serve   --socket <path>     resident analysis daemon\
+                 \n          or --addr <h:p>     (always interprocedural)\
+                 \n  query   --socket|--addr …   query a running daemon\
                  \n\
                  \n  --solver {{worklist,scc}}     fixpoint strategy for\
                  \n                              eval/lt/pdg/opt (default scc)\
@@ -244,30 +248,7 @@ fn cmd_eval(args: &[String]) -> i32 {
     let used_cache = cfg.summary_cache.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     report_cache(used_cache, &lt);
-    let ba = BasicAliasAnalysis::new(&m);
-    let cf = AndersenAnalysis::new(&m);
-    let st = SteensgaardAnalysis::new(&m);
-    let pt = PentagonAa::on_prepared(&m); // the engine already produced e-SSA
-    let ba_lt = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
-    let stats = ModuleStats::compute(&m);
-    println!(
-        "{} function(s), {} instruction(s), {} queries",
-        stats.functions,
-        stats.instructions,
-        AaEval::num_queries(&m)
-    );
-    let analyses: Vec<&dyn AliasAnalysis> = vec![&ba, &lt, &cf, &st, &pt, &ba_lt];
-    println!("{:<8} {:>10} {:>10} {:>10} {:>8}", "analysis", "no-alias", "may", "must", "%no");
-    for s in AaEval::run(&m, &analyses) {
-        println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>7.2}%",
-            s.name,
-            s.no_alias,
-            s.may_alias,
-            s.must_alias,
-            s.no_alias_rate()
-        );
-    }
+    print!("{}", render_eval(&m, &lt));
     0
 }
 
@@ -425,6 +406,350 @@ fn cmd_opt(args: &[String]) -> i32 {
     );
     print!("{}", sraa::ir::printer::print_module(&m));
     0
+}
+
+/// Which socket family a `serve`/`query` invocation targets. `--socket`
+/// and `--addr` are mutually exclusive: one daemon, one endpoint.
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+/// Extracts the endpoint flags, enforcing mutual exclusion with a clear
+/// diagnostic (exit 2, the PR 3 unknown-flag convention).
+fn take_endpoint(args: &[String], usage: &str) -> Result<(Vec<String>, Endpoint), i32> {
+    let (rest, socket) = take_value_flag(args, "--socket")?;
+    let (rest, addr) = take_value_flag(&rest, "--addr")?;
+    match (socket, addr) {
+        (Some(_), Some(_)) => {
+            eprintln!("--socket and --addr are mutually exclusive; pick one endpoint");
+            Err(2)
+        }
+        (Some(path), None) => Ok((rest, Endpoint::Unix(path))),
+        (None, Some(a)) => Ok((rest, Endpoint::Tcp(a))),
+        (None, None) => {
+            eprintln!("need an endpoint: --socket <path> or --addr <host:port>\nusage: {usage}");
+            Err(2)
+        }
+    }
+}
+
+/// Wires SIGTERM/SIGINT to the daemon's shutdown flag, so `kill <pid>`
+/// triggers the same graceful drain as a `shutdown` frame. Raw `signal`
+/// binding: the workspace is offline (no `libc`/`signal-hook` crates),
+/// and the handler only stores to an atomic, which is async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers(flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(f) = FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let _ = FLAG.set(flag);
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    const USAGE: &str = "sraa serve (--socket <path> | --addr <host:port>) \
+                         [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
+                         [--summary-cache <path>]";
+    let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
+    let (args, endpoint) = match take_endpoint(&args, USAGE) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    if let Err(code) = reject_unknown_flags(&args, USAGE) {
+        return code;
+    }
+    // `--summary-cache` is the daemon's warm start: read once at boot,
+    // then the cache lives in memory and rolls forward upload-to-upload.
+    let warm =
+        cfg.summary_cache.take().and_then(|path| match sraa::lt::persist::load(&path, cfg.gen) {
+            Ok(c) => {
+                eprintln!("# serve: warm start from {} ({} summaries)", path.display(), c.len());
+                Some(c)
+            }
+            Err(e) if e.is_not_found() => None,
+            Err(e) => {
+                eprintln!("# serve warning: {}: {e}; starting cold", path.display());
+                None
+            }
+        });
+    let scfg = sraa::serve::ServerConfig { engine: cfg, ..Default::default() };
+    let server = match &endpoint {
+        Endpoint::Unix(path) => sraa::serve::Server::bind_unix(path, scfg),
+        Endpoint::Tcp(addr) => sraa::serve::Server::bind_tcp(addr.as_str(), scfg),
+    };
+    let server = match server {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return 1;
+        }
+    };
+    let server = match warm {
+        Some(c) => server.with_warm_cache(c),
+        None => server,
+    };
+    install_signal_handlers(server.shutdown_flag());
+    match &endpoint {
+        Endpoint::Unix(path) => eprintln!("# serve: listening on {path}"),
+        Endpoint::Tcp(_) => {
+            let addr = server.tcp_addr().map(|a| a.to_string()).unwrap_or_default();
+            eprintln!("# serve: listening on {addr}");
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serve error: {e}");
+        return 1;
+    }
+    eprintln!("{}", server.stats());
+    0
+}
+
+const QUERY_USAGE: &str = "sraa query (--socket <path> | --addr <host:port>) <request>\
+                           \n  upload <name> <file.c>          compile + solve on the daemon\
+                           \n  no-alias <mod> <func> <p1> <p2> one disambiguation query\
+                           \n  lt <mod> <func> <a> <b>         one strict-inequality query\
+                           \n  eval <mod>                      the aa-eval report (byte-identical\
+                           \n                                  to one-shot `sraa eval --interproc`)\
+                           \n  pairs <mod> <func>              streamed no-alias pairs\
+                           \n  batch <file>                    run one request per line\
+                           \n  stats                           daemon counters\
+                           \n  shutdown                        graceful drain";
+
+fn cmd_query(args: &[String]) -> i32 {
+    let (args, endpoint) = match take_endpoint(args, QUERY_USAGE) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    if let Err(code) = reject_unknown_flags(&args, QUERY_USAGE) {
+        return code;
+    }
+    if args.is_empty() {
+        eprintln!("usage: {QUERY_USAGE}");
+        return 2;
+    }
+    let client = match &endpoint {
+        Endpoint::Unix(path) => sraa::serve::Client::connect_unix(path),
+        Endpoint::Tcp(addr) => sraa::serve::Client::connect_tcp(addr.as_str()),
+    };
+    let mut client = match client {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            return 1;
+        }
+    };
+    if args[0] == "batch" {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: {QUERY_USAGE}");
+            return 2;
+        };
+        let Ok(batch) = std::fs::read_to_string(path) else {
+            eprintln!("cannot read {path}");
+            return 1;
+        };
+        for line in batch.lines() {
+            let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            if words.is_empty() || words[0].starts_with('#') {
+                continue;
+            }
+            let code = run_query(&mut client, &words);
+            if code != 0 {
+                return code;
+            }
+        }
+        return 0;
+    }
+    run_query(&mut client, &args)
+}
+
+/// Executes one `sraa query` request over an open connection, printing
+/// its result. Query outputs go to stdout (deterministic, diffable
+/// against one-shot commands); progress and counters go to stderr.
+fn run_query(client: &mut sraa::serve::Client, words: &[String]) -> i32 {
+    use sraa::serve::{obj, Json};
+    let reply = |client: &mut sraa::serve::Client, req: &Json| match client.request(req) {
+        Ok(r) => Ok(r),
+        Err(e) => {
+            eprintln!("{e}");
+            Err(1)
+        }
+    };
+    match words[0].as_str() {
+        "upload" => {
+            let (Some(name), Some(path)) = (words.get(1), words.get(2)) else {
+                eprintln!("usage: {QUERY_USAGE}");
+                return 2;
+            };
+            let Ok(source) = std::fs::read_to_string(path) else {
+                eprintln!("cannot read {path}");
+                return 1;
+            };
+            let req = obj([
+                ("cmd", Json::Str("upload".into())),
+                ("name", Json::Str(name.clone())),
+                ("source", Json::Str(source)),
+            ]);
+            let r = match reply(client, &req) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if !r.is_ok() {
+                return fail_reply(&r);
+            }
+            let outcome = CacheOutcome {
+                hits: r.num_field("hits").unwrap_or(0) as u32,
+                misses: r.num_field("misses").unwrap_or(0) as u32,
+                invalidated: r.num_field("invalidated").unwrap_or(0) as u32,
+            };
+            eprintln!(
+                "# summary-cache: {} hit(s), {} miss(es), {} invalidated ({:.1}% hit rate)",
+                outcome.hits,
+                outcome.misses,
+                outcome.invalidated,
+                outcome.hit_rate() * 100.0
+            );
+            println!(
+                "uploaded {}: {} function(s), {} queries",
+                name,
+                r.num_field("functions").unwrap_or(0),
+                r.num_field("queries").unwrap_or(0)
+            );
+            0
+        }
+        verb @ ("no-alias" | "lt") => {
+            let (Some(m), Some(f), Some(p1), Some(p2)) =
+                (words.get(1), words.get(2), words.get(3), words.get(4))
+            else {
+                eprintln!("usage: {QUERY_USAGE}");
+                return 2;
+            };
+            let req = obj([
+                ("cmd", Json::Str(verb.into())),
+                ("module", Json::Str(m.clone())),
+                ("func", Json::Str(f.clone())),
+                ("p1", Json::Str(p1.clone())),
+                ("p2", Json::Str(p2.clone())),
+            ]);
+            let r = match reply(client, &req) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if !r.is_ok() {
+                return fail_reply(&r);
+            }
+            if verb == "no-alias" {
+                let v = r.get("no_alias").and_then(Json::as_bool).unwrap_or(false);
+                println!("{}", if v { "no-alias" } else { "may-alias" });
+            } else {
+                let v = r.get("lt").and_then(Json::as_bool).unwrap_or(false);
+                println!("{v}");
+            }
+            0
+        }
+        "eval" => {
+            let Some(m) = words.get(1) else {
+                eprintln!("usage: {QUERY_USAGE}");
+                return 2;
+            };
+            let req = obj([("cmd", Json::Str("eval".into())), ("module", Json::Str(m.clone()))]);
+            let r = match reply(client, &req) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if !r.is_ok() {
+                return fail_reply(&r);
+            }
+            print!("{}", r.str_field("text").unwrap_or(""));
+            0
+        }
+        "pairs" => {
+            let (Some(m), Some(f)) = (words.get(1), words.get(2)) else {
+                eprintln!("usage: {QUERY_USAGE}");
+                return 2;
+            };
+            let req = obj([
+                ("cmd", Json::Str("pairs".into())),
+                ("module", Json::Str(m.clone())),
+                ("func", Json::Str(f.clone())),
+            ]);
+            let last = client.request_streamed(&req, |frame| {
+                if let Some(Json::Arr(pair)) = frame.get("pair") {
+                    let names: Vec<&str> = pair.iter().filter_map(Json::as_str).collect();
+                    println!("{}", names.join(" "));
+                }
+            });
+            match last {
+                Ok(done) if done.is_ok() => {
+                    eprintln!("# {} pair(s)", done.num_field("done").unwrap_or(0));
+                    0
+                }
+                Ok(err) => fail_reply(&err),
+                Err(e) => {
+                    eprintln!("{e}");
+                    1
+                }
+            }
+        }
+        "stats" => {
+            let r = match reply(client, &obj([("cmd", Json::Str("stats".into()))])) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if !r.is_ok() {
+                return fail_reply(&r);
+            }
+            if let Json::Obj(pairs) = &r {
+                for (k, v) in pairs {
+                    if k != "ok" {
+                        println!("{k}: {}", v.render());
+                    }
+                }
+            }
+            0
+        }
+        "shutdown" => {
+            let r = match reply(client, &obj([("cmd", Json::Str("shutdown".into()))])) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            if !r.is_ok() {
+                return fail_reply(&r);
+            }
+            eprintln!("# shutdown requested");
+            0
+        }
+        other => {
+            eprintln!("unknown query `{other}`\nusage: {QUERY_USAGE}");
+            2
+        }
+    }
+}
+
+/// Prints a typed server error reply and returns the CLI exit code.
+fn fail_reply(reply: &sraa::serve::Json) -> i32 {
+    eprintln!(
+        "server error: {}: {}",
+        reply.str_field("error").unwrap_or("unknown"),
+        reply.str_field("detail").unwrap_or("")
+    );
+    1
 }
 
 fn cmd_gen(args: &[String]) -> i32 {

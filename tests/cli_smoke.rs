@@ -551,3 +551,113 @@ fn jobs_env_is_honoured_and_loses_to_the_flag() {
     assert!(!stderr_of(&bad_env).contains("# jobs:"), "got: {}", stderr_of(&bad_env));
     assert_eq!(stdout(&base), stdout(&bad_env));
 }
+
+// ---------------------------------------------------------------------
+// serve / query: flag validation and the full daemon round trip.
+// ---------------------------------------------------------------------
+
+#[test]
+fn serve_and_query_validate_flags_before_touching_the_network() {
+    // No endpoint at all is a usage error.
+    let out = sraa(&["serve"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("need an endpoint"), "got: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("usage:"), "got: {}", stderr_of(&out));
+    let out = sraa(&["query", "stats"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("need an endpoint"), "got: {}", stderr_of(&out));
+
+    // `--socket` and `--addr` are mutually exclusive, with a clear
+    // diagnostic rather than one silently winning.
+    for argv in [
+        vec!["serve", "--socket", "/tmp/x.sock", "--addr", "127.0.0.1:1"],
+        vec!["query", "--socket", "/tmp/x.sock", "--addr", "127.0.0.1:1", "stats"],
+    ] {
+        let out = sraa(&argv);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        assert!(stderr_of(&out).contains("mutually exclusive"), "{argv:?}: {}", stderr_of(&out));
+    }
+
+    // Unknown flags exit 2 with usage — and are rejected before any
+    // connect, so a dead endpoint doesn't turn a typo into exit 1.
+    for argv in [
+        vec!["serve", "--socket", "/tmp/x.sock", "--wat"],
+        vec!["query", "--socket", "/tmp/sraa_no_such_daemon.sock", "--wat", "stats"],
+    ] {
+        let out = sraa(&argv);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        assert!(stderr_of(&out).contains("unknown flag"), "{argv:?}: {}", stderr_of(&out));
+        assert!(stderr_of(&out).contains("usage:"), "{argv:?}: {}", stderr_of(&out));
+    }
+
+    // A valid endpoint but no request is usage, checked before connecting.
+    let out = sraa(&["query", "--socket", "/tmp/sraa_no_such_daemon.sock"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"), "got: {}", stderr_of(&out));
+
+    // An endpoint with no daemon behind it is a clean runtime error.
+    let out = sraa(&["query", "--socket", "/tmp/sraa_no_such_daemon.sock", "stats"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot connect"), "got: {}", stderr_of(&out));
+}
+
+#[cfg(unix)]
+#[test]
+fn daemon_round_trip_matches_one_shot_eval_and_shuts_down_cleanly() {
+    let f = calls_file();
+    let path = f.to_str().unwrap();
+    let sock = std::env::temp_dir().join(format!("sraa_cli_daemon_{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    let sock_s = sock.to_str().unwrap().to_string();
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_sraa"))
+        .args(["serve", "--socket", &sock_s])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let q = |args: &[&str]| -> Output {
+        let mut full = vec!["query", "--socket", sock_s.as_str()];
+        full.extend_from_slice(args);
+        sraa(&full)
+    };
+
+    let up = q(&["upload", "demo", path]);
+    assert!(up.status.success(), "upload: {}", stderr_of(&up));
+    assert!(stdout(&up).contains("uploaded demo: 3 function(s)"), "got: {}", stdout(&up));
+    assert!(stderr_of(&up).contains("# summary-cache:"), "got: {}", stderr_of(&up));
+
+    // The resident answer is byte-identical to one-shot `eval --interproc`
+    // (the daemon is always interprocedural).
+    let resident = q(&["eval", "demo"]);
+    let oneshot = sraa(&["eval", path, "--interproc"]);
+    assert!(resident.status.success() && oneshot.status.success());
+    assert_eq!(stdout(&resident), stdout(&oneshot), "resident eval must match one-shot eval");
+
+    // A batch file runs request-per-line over one connection; `#` lines
+    // are comments.
+    let batch = std::env::temp_dir().join(format!("sraa_cli_batch_{}.txt", std::process::id()));
+    std::fs::write(&batch, "# smoke batch\neval demo\npairs demo use_helper\nstats\n").unwrap();
+    let out = q(&["batch", batch.to_str().unwrap()]);
+    assert!(out.status.success(), "batch: {}", stderr_of(&out));
+    assert!(stdout(&out).contains("BA+LT"), "batch eval missing: {}", stdout(&out));
+    assert!(stdout(&out).contains("uploads: 1"), "batch stats missing: {}", stdout(&out));
+    assert!(stderr_of(&out).contains("pair(s)"), "batch pairs count missing: {}", stderr_of(&out));
+    std::fs::remove_file(&batch).ok();
+
+    // Graceful shutdown: the daemon drains, exits 0, removes its socket
+    // file and dumps a stats line on stderr.
+    let bye = q(&["shutdown"]);
+    assert!(bye.status.success(), "shutdown: {}", stderr_of(&bye));
+    let mut err_pipe = daemon.stderr.take().expect("stderr piped");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "daemon must exit cleanly after shutdown");
+    let mut daemon_err = String::new();
+    std::io::Read::read_to_string(&mut err_pipe, &mut daemon_err).expect("read daemon stderr");
+    assert!(daemon_err.contains("# serve: listening on"), "got: {daemon_err}");
+    assert!(daemon_err.contains("connection(s)"), "no stats line in: {daemon_err}");
+    assert!(!sock.exists(), "socket file must be removed on shutdown");
+}
