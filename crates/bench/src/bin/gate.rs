@@ -46,7 +46,12 @@
 //!   on a single-core host both legs run the identical serial path and
 //!   the row is informational. The resident daemon must likewise beat the
 //!   one-shot path it replaces (`serve.resident_query_us ≤
-//!   serve.oneshot_warm_us`).
+//!   serve.oneshot_warm_us`), and the shared summary store must pay for
+//!   itself on the fresh run: an upload answered from a populated store
+//!   may not cost more than the cold upload that populated it
+//!   (`store.warm_upload_us ≤ store.cold_upload_us`). The store's
+//!   warm-run hit rate over an unchanged module rides with the cache
+//!   hit rate under the must-not-drop bar (baseline pins 1.0).
 
 use std::process::exit;
 
@@ -122,8 +127,11 @@ fn main() {
     }
 
     // Cache effectiveness: warm runs on unchanged modules must keep
-    // hitting (deterministic; the baseline pins 1.0).
+    // hitting (deterministic; the baseline pins 1.0). The shared store's
+    // content-addressed keys carry the same contract.
     gate.at_least("incremental.hit_rate", binc.num("hit_rate"), finc.num("hit_rate"));
+    let (bstore, fstore) = (baseline.section("store"), fresh.section("store"));
+    gate.at_least("store.hit_rate", bstore.num("hit_rate"), fstore.num("hit_rate"));
 
     // Work: deterministic counters, at most baseline × tolerance.
     for (i, solver) in ["worklist", "scc"].iter().enumerate() {
@@ -194,6 +202,14 @@ fn main() {
         bserve.num("resident_query_us") / bc,
         fserve.num("resident_query_us") / fc,
     );
+    // The shared store's warm upload: key computation + store lookups,
+    // no solves, no segment writes — the cross-process analogue of the
+    // incremental warm run.
+    gate.at_most(
+        "store.warm_upload_us/calib",
+        bstore.num("warm_upload_us") / bc,
+        fstore.num("warm_upload_us") / fc,
+    );
     // Lattice backends, normalised like the solver totals.
     gate.at_most("lattice.arc_us/calibration", blat.num("arc_us") / bc, flat.num("arc_us") / fc);
     gate.at_most(
@@ -230,6 +246,12 @@ fn main() {
     let resident = fserve.num("resident_query_us");
     let oneshot = fserve.num("oneshot_warm_us");
     gate.row("serve.resident_vs_oneshot_warm", oneshot, resident, resident <= oneshot);
+    // The store's whole point, enforced on the fresh run: an upload that
+    // answers from a populated store (lookups, no solves, nothing
+    // published) may not cost more than the cold upload it replaces.
+    let store_cold = fstore.num("cold_upload_us");
+    let store_warm = fstore.num("warm_upload_us");
+    gate.row("store.warm_vs_cold_upload", store_cold, store_warm, store_warm <= store_cold);
     // The wavefront fan-out must pay for its threads on runs that had
     // any: with ≥ 2 workers the parallel leg may not lose to the serial
     // one. On a single-core host both legs run the identical serial

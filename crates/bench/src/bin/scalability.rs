@@ -266,6 +266,16 @@ fn main() {
         serve.oneshot_warm_us / serve.resident_query_us.max(1e-9)
     );
 
+    let store = store_bench_stats();
+    println!(
+        "shared summary store     : cold upload {:.0}µs → store-warm {:.0}µs ({:.2}x), \
+         hit rate {:.1}%",
+        store.cold_upload_us,
+        store.warm_upload_us,
+        store.cold_upload_us / store.warm_upload_us.max(1e-9),
+        store.hit_rate * 100.0
+    );
+
     let calibration_us = calibrate();
     let json = render_json(
         &ws.len(),
@@ -278,6 +288,7 @@ fn main() {
         &inc,
         &par,
         &serve,
+        &store,
         inter_us,
         calibration_us,
         peak_rss_kb(),
@@ -671,6 +682,81 @@ fn serve_stats() -> ServeBenchStats {
     ServeBenchStats { upload_us: upload, resident_query_us: resident, oneshot_warm_us: oneshot }
 }
 
+/// The content-addressed shared store: a cold engine build that solves
+/// every summary and publishes it (fresh directory per iteration — the
+/// first process ever to see the module family), vs the same build
+/// against a populated directory (every component answered by key
+/// lookup, nothing published, no segment written). The gate enforces
+/// store-warm ≤ cold — the store's reason to exist — and tracks
+/// `hit_rate`, which must be 1.0 for an unchanged module: anything less
+/// means content keys churn without an edit.
+struct StoreBenchStats {
+    cold_upload_us: f64,
+    warm_upload_us: f64,
+    hit_rate: f64,
+}
+
+fn store_bench_stats() -> StoreBenchStats {
+    use sraa_core::SharedSummaryStore;
+    let w = sraa_synth::call_suite(suite_n().min(24)).pop().expect("call suite is non-empty");
+    let base = std::env::temp_dir().join(format!("sraa_bench_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    // Cold: a fresh directory each run — keys are computed, every SCC is
+    // solved, and every summary is published as a new segment.
+    let mut cold = f64::INFINITY;
+    for i in 0..3 {
+        let dir = base.join(format!("cold{i}"));
+        let store = SharedSummaryStore::open(&dir, GenConfig::default()).expect("store opens");
+        let mut m = sraa_minic::compile(&w.source).expect("workload compiles");
+        let t0 = Instant::now();
+        let engine = sraa_core::DisambiguationEngine::build_with_cache_and_store(
+            &mut m,
+            EngineConfig::default(),
+            None,
+            Some(&store),
+        );
+        cold = cold.min(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(engine.stats().store_hits, 0, "a fresh directory cannot hit");
+        assert!(engine.stats().store_published > 0, "the cold run must publish");
+    }
+
+    // Populate one directory, then time warm builds against it through
+    // fresh handles — the second daemon / next one-shot process.
+    let dir = base.join("warm");
+    {
+        let store = SharedSummaryStore::open(&dir, GenConfig::default()).expect("store opens");
+        let mut m = sraa_minic::compile(&w.source).expect("workload compiles");
+        let engine = sraa_core::DisambiguationEngine::build_with_cache_and_store(
+            &mut m,
+            EngineConfig::default(),
+            None,
+            Some(&store),
+        );
+        std::hint::black_box(engine);
+    }
+    let mut warm = f64::INFINITY;
+    let mut hit_rate = 0.0;
+    for _ in 0..3 {
+        let store = SharedSummaryStore::open(&dir, GenConfig::default()).expect("store reopens");
+        let mut m = sraa_minic::compile(&w.source).expect("workload compiles");
+        let t0 = Instant::now();
+        let engine = sraa_core::DisambiguationEngine::build_with_cache_and_store(
+            &mut m,
+            EngineConfig::default(),
+            None,
+            Some(&store),
+        );
+        warm = warm.min(t0.elapsed().as_secs_f64() * 1e6);
+        let s = engine.stats();
+        assert_eq!(s.store_misses, 0, "an unchanged module must hit the store completely");
+        assert_eq!(s.store_published, 0, "a warm run must not publish");
+        hit_rate = f64::from(s.store_hits) / f64::from(s.store_hits + s.store_misses).max(1.0);
+    }
+    std::fs::remove_dir_all(&base).ok();
+    StoreBenchStats { cold_upload_us: cold, warm_upload_us: warm, hit_rate }
+}
+
 /// Solve time of one fixed reference system (best of five) — a proxy for
 /// machine speed that lets the gate normalise wall-clock metrics across
 /// hosts: `total_us / calibration_us` is comparable between a laptop
@@ -709,6 +795,7 @@ fn render_json(
     inc: &IncrementalStats,
     par: &ParallelStats,
     serve: &ServeBenchStats,
+    store: &StoreBenchStats,
     dense_inter_us: f64,
     calibration_us: f64,
     peak_rss_kb: u64,
@@ -750,6 +837,11 @@ fn render_json(
     let _ = writeln!(s, "    \"upload_us\": {:.1},", serve.upload_us);
     let _ = writeln!(s, "    \"resident_query_us\": {:.1},", serve.resident_query_us);
     let _ = writeln!(s, "    \"oneshot_warm_us\": {:.1}", serve.oneshot_warm_us);
+    s.push_str("  },\n");
+    s.push_str("  \"store\": {\n");
+    let _ = writeln!(s, "    \"cold_upload_us\": {:.1},", store.cold_upload_us);
+    let _ = writeln!(s, "    \"warm_upload_us\": {:.1},", store.warm_upload_us);
+    let _ = writeln!(s, "    \"hit_rate\": {:.4}", store.hit_rate);
     s.push_str("  },\n");
     s.push_str("  \"solvers\": [\n");
     for (i, t) in totals.iter().enumerate() {

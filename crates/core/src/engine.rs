@@ -27,7 +27,8 @@ use crate::jobs::Jobs;
 use crate::lattice::LatticeBackend;
 use crate::persist;
 use crate::solver::{solve_with, Solution, SolveStats};
-use crate::summary::{CacheOutcome, ModuleSummaries};
+use crate::store::{SharedSummaryStore, StoreOutcome};
+use crate::summary::{CacheOutcome, FunctionSummary, ModuleSummaries};
 use crate::var_index::VarIndex;
 use sraa_ir::{FuncId, Function, InstKind, Module, Type, Value};
 use sraa_range::RangeAnalysis;
@@ -223,6 +224,17 @@ pub struct EngineConfig {
     /// and rewrites it afterwards. Hit/miss/invalidated counts land in
     /// [`SolveStats`].
     pub summary_cache: Option<std::path::PathBuf>,
+    /// Directory of the content-addressed shared summary store (the
+    /// CLI's `--shared-store`). Only meaningful with
+    /// [`Contextuality::Summaries`]. Unlike `summary_cache` — one file,
+    /// one module name — the store spans *all* modules and processes:
+    /// entries are keyed by the content-addressed summary key alone, so
+    /// a helper solved under any module (or by another daemon sharing
+    /// the directory) is a hit here. Consulted after the per-module
+    /// cache; newly solved summaries are published back. A defective
+    /// directory falls back to running without the store, with a warning
+    /// on stderr. Hit/miss/publish counts land in [`SolveStats`].
+    pub shared_store: Option<std::path::PathBuf>,
     /// Worker threads for the wavefront-parallel summary pipeline
     /// (default: [`Jobs::Auto`] — `SRAA_JOBS`, else available
     /// parallelism). Exposed as the `--jobs N` CLI flag; every jobs
@@ -242,6 +254,16 @@ impl EngineConfig {
     pub fn with_summary_cache(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.contextuality = Contextuality::Summaries;
         self.summary_cache = Some(path.into());
+        self
+    }
+
+    /// This configuration with a content-addressed shared summary store
+    /// at `dir` (implies [`Contextuality::Summaries`]). Composes with
+    /// [`EngineConfig::with_summary_cache`]: the per-module cache is
+    /// consulted first, the store catches what it misses.
+    pub fn with_shared_store(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.contextuality = Contextuality::Summaries;
+        self.shared_store = Some(dir.into());
         self
     }
 
@@ -310,7 +332,10 @@ impl Clone for DisambiguationEngine {
             lattice: self.lattice,
             summaries: self.summaries.clone(),
             cache: std::array::from_fn(|i| {
-                Mutex::new(self.cache[i].lock().expect("cache poisoned").clone())
+                // A poisoning panic cannot leave the map half-updated
+                // (single-call insert), so recover the data instead of
+                // cascading the panic into every sharer.
+                Mutex::new(self.cache[i].lock().unwrap_or_else(|e| e.into_inner()).clone())
             }),
         }
     }
@@ -350,10 +375,11 @@ impl DisambiguationEngine {
         // stored summaries instead of re-solving.
         let summary_t0 = std::time::Instant::now();
         let mut cache_outcome = CacheOutcome::default();
+        let mut store_outcome = StoreOutcome::default();
         let summaries = match cfg.contextuality {
             Contextuality::Intra => None,
-            Contextuality::Summaries => match &cfg.summary_cache {
-                None => Some(ModuleSummaries::compute(
+            Contextuality::Summaries => match (&cfg.summary_cache, Self::open_store(&cfg)) {
+                (None, None) => Some(ModuleSummaries::compute(
                     module,
                     ranges,
                     cfg.gen,
@@ -362,7 +388,26 @@ impl DisambiguationEngine {
                     cfg.lattice,
                     cfg.jobs,
                 )),
-                Some(path) => {
+                (None, Some(store)) => {
+                    // Store only: consult by content-addressed key, solve
+                    // the residue, publish everything back (idempotent —
+                    // insert-if-absent, so a warm run publishes nothing).
+                    let (sums, keys, _, mut s_out) = ModuleSummaries::compute_incremental_shared(
+                        module,
+                        ranges,
+                        cfg.gen,
+                        &index,
+                        solver,
+                        cfg.lattice,
+                        cfg.jobs,
+                        None,
+                        Some(&store),
+                    );
+                    s_out.published = Self::publish_all(&store, &sums, &keys);
+                    store_outcome = s_out;
+                    Some(sums)
+                }
+                (Some(path), store) => {
                     let cache = match persist::load(path, cfg.gen) {
                         Ok(cache) => Some(cache),
                         Err(e) if e.is_not_found() => None, // first run: plain cold start
@@ -375,8 +420,14 @@ impl DisambiguationEngine {
                         }
                     };
                     let had_entries = cache.as_ref().is_some_and(|c| !c.is_empty());
-                    let (sums, keys, outcome) =
-                        Self::summaries_from_cache(module, ranges, &cfg, &index, cache.as_ref());
+                    let (sums, keys, outcome, s_out) = Self::summaries_from_cache(
+                        module,
+                        ranges,
+                        &cfg,
+                        &index,
+                        cache.as_ref(),
+                        store.as_ref(),
+                    );
                     if had_entries && outcome.hits == 0 && module.num_functions() > 0 {
                         eprintln!(
                             "# summary-cache warning: {}: no cached summary matched this \
@@ -391,11 +442,62 @@ impl DisambiguationEngine {
                         eprintln!("# summary-cache warning: cannot write {}: {e}", path.display());
                     }
                     cache_outcome = outcome;
+                    store_outcome = s_out;
                     Some(sums)
                 }
             },
         };
-        Self::assemble(module, ranges, cfg, index, summaries, summary_t0, cache_outcome)
+        Self::assemble(
+            module,
+            ranges,
+            cfg,
+            index,
+            summaries,
+            summary_t0,
+            cache_outcome,
+            store_outcome,
+        )
+    }
+
+    /// Opens the configured shared store, degrading to `None` (with a
+    /// stderr warning) on any IO failure — like a defective summary
+    /// cache, a defective store can cost speed, never correctness.
+    fn open_store(cfg: &EngineConfig) -> Option<SharedSummaryStore> {
+        let dir = cfg.shared_store.as_ref()?;
+        match SharedSummaryStore::open(dir, cfg.gen) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "# shared-store warning: {}: {e}; running without a store",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Publishes every `(key, summary)` pair of a finished solve into
+    /// `store`, returning how many were new. Publishing all pairs (not
+    /// just the cold-solved ones) is deliberate: insert-if-absent makes
+    /// it idempotent, and it migrates summaries that arrived via the
+    /// per-module cache into the shared store.
+    fn publish_all(
+        store: &SharedSummaryStore,
+        sums: &ModuleSummaries,
+        keys: &persist::SummaryKeys,
+    ) -> u32 {
+        let entries: Vec<(u64, FunctionSummary)> =
+            sums.iter().map(|(fid, s)| (keys.of(fid), s.clone())).collect();
+        match store.publish(&entries) {
+            Ok(n) => n as u32,
+            Err(e) => {
+                eprintln!(
+                    "# shared-store warning: cannot publish to {}: {e}",
+                    store.dir().display()
+                );
+                0
+            }
+        }
     }
 
     /// Builds the engine in interprocedural mode against a caller-held
@@ -416,8 +518,23 @@ impl DisambiguationEngine {
         cfg: EngineConfig,
         cache: Option<&persist::SummaryCache>,
     ) -> Self {
+        Self::build_with_cache_and_store(module, cfg, cache, None)
+    }
+
+    /// [`DisambiguationEngine::build_with_cache`] with an additional
+    /// caller-held [`SharedSummaryStore`]: components the per-module
+    /// cache cannot satisfy are looked up by content-addressed key, and
+    /// every solved summary is published back (idempotently). This is
+    /// the daemon's `--shared-store` path — the daemon owns one resident
+    /// store for its lifetime and threads it through every upload.
+    pub fn build_with_cache_and_store(
+        module: &mut Module,
+        cfg: EngineConfig,
+        cache: Option<&persist::SummaryCache>,
+        store: Option<&SharedSummaryStore>,
+    ) -> Self {
         let (ranges, _) = sraa_essa::transform_module(module);
-        Self::on_prepared_with_cache(module, &ranges, cfg, cache)
+        Self::on_prepared_with_cache_and_store(module, &ranges, cfg, cache, store)
     }
 
     /// [`DisambiguationEngine::build_with_cache`] over a module already in
@@ -425,16 +542,29 @@ impl DisambiguationEngine {
     pub fn on_prepared_with_cache(
         module: &Module,
         ranges: &RangeAnalysis,
+        cfg: EngineConfig,
+        cache: Option<&persist::SummaryCache>,
+    ) -> Self {
+        Self::on_prepared_with_cache_and_store(module, ranges, cfg, cache, None)
+    }
+
+    /// [`DisambiguationEngine::build_with_cache_and_store`] over a module
+    /// already in e-SSA form, with caller-provided ranges.
+    pub fn on_prepared_with_cache_and_store(
+        module: &Module,
+        ranges: &RangeAnalysis,
         mut cfg: EngineConfig,
         cache: Option<&persist::SummaryCache>,
+        store: Option<&SharedSummaryStore>,
     ) -> Self {
         cfg.contextuality = Contextuality::Summaries;
         cfg.summary_cache = None;
+        cfg.shared_store = None;
         let index = VarIndex::new(module);
         let summary_t0 = std::time::Instant::now();
-        let (sums, _keys, outcome) =
-            Self::summaries_from_cache(module, ranges, &cfg, &index, cache);
-        Self::assemble(module, ranges, cfg, index, Some(sums), summary_t0, outcome)
+        let (sums, _keys, outcome, store_outcome) =
+            Self::summaries_from_cache(module, ranges, &cfg, &index, cache, store);
+        Self::assemble(module, ranges, cfg, index, Some(sums), summary_t0, outcome, store_outcome)
     }
 
     /// The engine's current summaries as an in-memory [`persist::SummaryCache`] —
@@ -458,28 +588,35 @@ impl DisambiguationEngine {
         cfg: &EngineConfig,
         index: &VarIndex,
         cache: Option<&persist::SummaryCache>,
-    ) -> (ModuleSummaries, persist::SummaryKeys, CacheOutcome) {
-        let (sums, keys, mut outcome) = ModuleSummaries::compute_incremental(
-            module,
-            ranges,
-            cfg.gen,
-            index,
-            cfg.solver.solver(),
-            cfg.lattice,
-            cfg.jobs,
-            cache,
-        );
+        store: Option<&SharedSummaryStore>,
+    ) -> (ModuleSummaries, persist::SummaryKeys, CacheOutcome, StoreOutcome) {
+        let (sums, keys, mut outcome, mut store_outcome) =
+            ModuleSummaries::compute_incremental_shared(
+                module,
+                ranges,
+                cfg.gen,
+                index,
+                cfg.solver.solver(),
+                cfg.lattice,
+                cfg.jobs,
+                cache,
+                store,
+            );
         if cache.is_none() {
             // No usable cache at all: every function was a miss, so a
             // first (or fallback) run reports an honest 0% hit rate
             // rather than a vacuous 100%.
             outcome.misses = module.num_functions() as u32;
         }
-        (sums, keys, outcome)
+        if let Some(store) = store {
+            store_outcome.published = Self::publish_all(store, &sums, &keys);
+        }
+        (sums, keys, outcome, store_outcome)
     }
 
     /// The tail of every construction path: constraint generation, the
     /// module-wide solve(s), and per-phase stats attribution.
+    #[allow(clippy::too_many_arguments)] // internal funnel, one caller per path
     fn assemble(
         module: &Module,
         ranges: &RangeAnalysis,
@@ -488,6 +625,7 @@ impl DisambiguationEngine {
         summaries: Option<ModuleSummaries>,
         summary_t0: std::time::Instant,
         cache_outcome: CacheOutcome,
+        store_outcome: StoreOutcome,
     ) -> Self {
         let solver = cfg.solver.solver();
         let summary_build_ns =
@@ -547,6 +685,9 @@ impl DisambiguationEngine {
         solution.stats.cache_hits = cache_outcome.hits;
         solution.stats.cache_misses = cache_outcome.misses;
         solution.stats.cache_invalidated = cache_outcome.invalidated;
+        solution.stats.store_hits = store_outcome.hits;
+        solution.stats.store_misses = store_outcome.misses;
+        solution.stats.store_published = store_outcome.published;
 
         Self {
             index,
@@ -626,7 +767,7 @@ impl DisambiguationEngine {
 
     /// Number of memoized pair verdicts currently cached.
     pub fn cached_queries(&self) -> usize {
-        self.cache.iter().map(|s| s.lock().expect("cache poisoned").len()).sum()
+        self.cache.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
     }
 
     /// The paper's Definition 3.11: can `p1` and `p2` be proven disjoint?
@@ -646,11 +787,11 @@ impl DisambiguationEngine {
         let (a, b) = (self.index.id(f, p1).raw(), self.index.id(f, p2).raw());
         let key = (a.min(b), a.max(b));
         let shard = &self.cache[(key.0 ^ key.1) as usize & (CACHE_SHARDS - 1)];
-        if let Some(&hit) = shard.lock().expect("cache poisoned").get(&key) {
+        if let Some(&hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             return hit;
         }
         let verdict = self.no_alias_uncached(func, f, p1, p2);
-        shard.lock().expect("cache poisoned").insert(key, verdict);
+        shard.lock().unwrap_or_else(|e| e.into_inner()).insert(key, verdict);
         verdict
     }
 

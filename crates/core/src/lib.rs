@@ -100,6 +100,7 @@ pub mod ondemand;
 pub mod persist;
 pub(crate) mod setops;
 pub mod solver;
+pub mod store;
 pub mod summary;
 #[cfg(test)]
 pub(crate) mod test_systems;
@@ -118,5 +119,6 @@ pub use lt_set::LtSet;
 pub use ondemand::OnDemandProver;
 pub use persist::{PersistError, SummaryCache, SummaryKeys, FORMAT_VERSION};
 pub use solver::{solve, solve_with, Solution, SolveStats};
+pub use store::{SharedSummaryStore, StoreOutcome};
 pub use summary::{CacheOutcome, FunctionSummary, ModuleSummaries, SummaryStats};
 pub use var_index::{VarId, VarIndex};

@@ -49,6 +49,7 @@ use crate::summary::{FunctionSummary, ModuleSummaries};
 use sraa_ir::{body_fingerprint, CallGraph, Condensation, Fnv64, FuncId, Module};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// On-disk format version. Bump on any change to the byte layout **or**
 /// to the fingerprint/key scheme (a key computed by a different scheme
@@ -60,7 +61,7 @@ const MAGIC: &[u8; 8] = b"SRAASUMC";
 const HEADER_LEN: usize = 16;
 const CHECKSUM_LEN: usize = 8;
 
-fn encode_gen_config(cfg: GenConfig) -> u8 {
+pub(crate) fn encode_gen_config(cfg: GenConfig) -> u8 {
     (cfg.extended as u8) | (cfg.param_pairs as u8) << 1 | (cfg.range_offsets as u8) << 2
 }
 
@@ -330,8 +331,10 @@ pub fn from_bytes(bytes: &[u8], cfg: GenConfig) -> Result<SummaryCache, PersistE
     Ok(SummaryCache { entries })
 }
 
-/// Writes the cache file for `module` at `path` (atomically enough for
-/// the CLI: whole-buffer write).
+/// Writes the cache file for `module` at `path` atomically
+/// (write-temp-then-rename via `write_atomic`). Two processes healing
+/// or refreshing the same cache concurrently each publish a complete
+/// file — a reader can observe either version, never an interleaving.
 pub fn save(
     path: &Path,
     module: &Module,
@@ -339,7 +342,33 @@ pub fn save(
     keys: &SummaryKeys,
     cfg: GenConfig,
 ) -> std::io::Result<()> {
-    std::fs::write(path, to_bytes(module, summaries, keys, cfg))
+    write_atomic(path, &to_bytes(module, summaries, keys, cfg))
+}
+
+/// Atomically replaces `path` with `bytes`: the bytes are written to a
+/// uniquely named temporary file in the *same directory* (rename is only
+/// atomic within a filesystem) and renamed over the target. Used by the
+/// cache rewrite above and by the shared store's segment writer
+/// ([`crate::store`]).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "cache".to_owned());
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
 }
 
 /// Reads and parses the cache file at `path`.
@@ -348,14 +377,15 @@ pub fn load(path: &Path, cfg: GenConfig) -> Result<SummaryCache, PersistError> {
     from_bytes(&bytes, cfg)
 }
 
-/// Bounds-checked little-endian reader over the payload.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
+/// Bounds-checked little-endian reader over the payload. Shared with the
+/// segment decoder in [`crate::store`].
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.at.checked_add(n).ok_or(PersistError::Truncated)?;
         if end > self.bytes.len() {
             return Err(PersistError::Truncated);
@@ -365,11 +395,11 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -526,5 +556,42 @@ mod tests {
         let missing = load(Path::new("/nonexistent/sraa.cache"), GenConfig::default());
         assert!(matches!(&missing, Err(e) if e.is_not_found()));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The torn-write regression (satellite of the shared-store PR): a
+    /// cache truncated mid-file — the observable state an interrupted
+    /// in-place rewrite used to leave behind — must load-fail cleanly,
+    /// and the atomic rewrite must heal it without leaving temp litter.
+    #[test]
+    fn torn_cache_file_reloads_cleanly_and_heals_atomically() {
+        let (m, sums, keys) = cold(SRC);
+        let dir = std::env::temp_dir().join(format!("sraa_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.bin");
+        save(&path, &m, &sums, &keys, GenConfig::default()).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Tear the file at every interesting cut point and reload.
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN + 5, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(load(&path, GenConfig::default()).is_err(), "torn at {cut} must not parse");
+            // Healing is a fresh atomic save over the torn file.
+            save(&path, &m, &sums, &keys, GenConfig::default()).unwrap();
+            assert_eq!(load(&path, GenConfig::default()).unwrap().len(), 3, "healed at {cut}");
+        }
+
+        // write-temp-then-rename must not leave temporaries behind, even
+        // after the rename-failure cleanup path (rename onto a directory).
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(&blocked).unwrap();
+        assert!(write_atomic(&blocked, b"x").is_err());
+        let stray: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -68,6 +68,15 @@ pub struct SolveStats {
     pub cache_misses: u32,
     /// Warm-run summary-cache invalidations (entries whose key changed).
     pub cache_invalidated: u32,
+    /// Shared-store hits (functions whose content-addressed key was
+    /// already solved by *any* module or process publishing into the
+    /// store). 0 without `--shared-store`.
+    pub store_hits: u32,
+    /// Shared-store misses (keys absent from the store; solved cold and
+    /// then published).
+    pub store_misses: u32,
+    /// Summaries this run newly inserted into the shared store.
+    pub store_published: u32,
     /// Heap allocations observed over the solve, when a counting
     /// allocator is installed (the bench harness fills this in; 0 means
     /// "not measured"). Excluded from equality, like the wall-clock
@@ -91,9 +100,6 @@ impl PartialEq for SolveStats {
             self.sccs,
             self.cyclic_sccs,
             self.union_cycles,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_invalidated,
         ) == (
             other.constraints,
             other.variables,
@@ -102,9 +108,20 @@ impl PartialEq for SolveStats {
             other.sccs,
             other.cyclic_sccs,
             other.union_cycles,
+        ) && (
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidated,
+            self.store_hits,
+            self.store_misses,
+            self.store_published,
+        ) == (
             other.cache_hits,
             other.cache_misses,
             other.cache_invalidated,
+            other.store_hits,
+            other.store_misses,
+            other.store_published,
         )
     }
 }

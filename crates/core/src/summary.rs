@@ -55,6 +55,7 @@ use crate::engine::FixpointSolver;
 use crate::jobs::Jobs;
 use crate::lattice::LatticeBackend;
 use crate::persist::{SummaryCache, SummaryKeys};
+use crate::store::{SharedSummaryStore, StoreOutcome};
 use crate::var_index::{VarId, VarIndex};
 use sraa_ir::{CallGraph, FuncId, InstKind, Module, Value};
 use sraa_range::RangeAnalysis;
@@ -180,7 +181,7 @@ impl ModuleSummaries {
         lattice: LatticeBackend,
         jobs: Jobs,
     ) -> Self {
-        Self::compute_inner(module, ranges, cfg, index, solver, lattice, jobs, false, None).0
+        Self::compute_inner(module, ranges, cfg, index, solver, lattice, jobs, false, None, None).0
     }
 
     /// [`ModuleSummaries::compute`] with a **warm path**: components whose
@@ -206,9 +207,39 @@ impl ModuleSummaries {
         jobs: Jobs,
         cache: Option<&SummaryCache>,
     ) -> (Self, SummaryKeys, CacheOutcome) {
-        let (sums, keys, outcome) =
-            Self::compute_inner(module, ranges, cfg, index, solver, lattice, jobs, true, cache);
+        let (sums, keys, outcome, _) = Self::compute_inner(
+            module, ranges, cfg, index, solver, lattice, jobs, true, cache, None,
+        );
         (sums, keys.expect("requested above"), outcome)
+    }
+
+    /// [`ModuleSummaries::compute_incremental`] with an additional
+    /// consultation of a content-addressed [`SharedSummaryStore`]: any
+    /// component the per-module `cache` could not satisfy is looked up in
+    /// the store by its [`SummaryKeys`] key before being solved cold. The
+    /// per-module cache wins when both would hit (it is free — no store
+    /// lock traffic), so the two compose: `--summary-cache` answers
+    /// "did *this* module change", the store answers "has *anyone*
+    /// already solved this exact function". Publishing back is the
+    /// caller's job ([`crate::DisambiguationEngine`] publishes every
+    /// `(key, summary)` pair after the solve; insert-if-absent makes that
+    /// idempotent).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_incremental_shared(
+        module: &Module,
+        ranges: &RangeAnalysis,
+        cfg: GenConfig,
+        index: &VarIndex,
+        solver: &dyn FixpointSolver,
+        lattice: LatticeBackend,
+        jobs: Jobs,
+        cache: Option<&SummaryCache>,
+        store: Option<&SharedSummaryStore>,
+    ) -> (Self, SummaryKeys, CacheOutcome, StoreOutcome) {
+        let (sums, keys, outcome, store_outcome) = Self::compute_inner(
+            module, ranges, cfg, index, solver, lattice, jobs, true, cache, store,
+        );
+        (sums, keys.expect("requested above"), outcome, store_outcome)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -222,13 +253,16 @@ impl ModuleSummaries {
         jobs: Jobs,
         want_keys: bool,
         cache: Option<&SummaryCache>,
-    ) -> (Self, Option<SummaryKeys>, CacheOutcome) {
+        store: Option<&SharedSummaryStore>,
+    ) -> (Self, Option<SummaryKeys>, CacheOutcome, StoreOutcome) {
         let cg = CallGraph::build(module);
         let cond = cg.condense();
         let keys = want_keys.then(|| SummaryKeys::compute_with(module, &cg, &cond));
         let warm = cache.and_then(|c| keys.as_ref().map(|k| (k, c)));
+        let shared = store.and_then(|s| keys.as_ref().map(|k| (k, s)));
         let jobs = jobs.get();
         let mut outcome = CacheOutcome::default();
+        let mut store_outcome = StoreOutcome::default();
         let mut sums = ModuleSummaries {
             per_func: vec![FunctionSummary::default(); module.num_functions()],
             stats: SummaryStats {
@@ -273,6 +307,24 @@ impl ModuleSummaries {
                         }
                         continue;
                     }
+                }
+                // Shared-store consult, after the per-module cache (a
+                // cache hit is free; the store takes a shard lock). The
+                // key is content-addressed across modules, so a hit here
+                // may come from a different module name, another daemon,
+                // or another machine. All-or-nothing per component, like
+                // the cache: members share a key-invalidation fate.
+                if let Some((keys, store)) = shared {
+                    let found: Option<Vec<FunctionSummary>> =
+                        members.iter().map(|&f| store.get(keys.of(f))).collect();
+                    if let Some(found) = found {
+                        store_outcome.hits += members.len() as u32;
+                        for (&f, s) in members.iter().zip(found) {
+                            sums.per_func[f.index()] = s;
+                        }
+                        continue;
+                    }
+                    store_outcome.misses += members.len() as u32;
                 }
                 cold.push(ci);
             }
@@ -347,7 +399,7 @@ impl ModuleSummaries {
         }
 
         sums.stats.facts = sums.per_func.iter().map(FunctionSummary::facts).sum();
-        (sums, keys, outcome)
+        (sums, keys, outcome, store_outcome)
     }
 
     /// The summary of function `f`.

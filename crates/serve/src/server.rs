@@ -20,7 +20,7 @@
 use crate::protocol::{self, error_reply, obj, FrameError, Json};
 use crate::stats::ServeStats;
 use sraa_alias::{render_eval, AaEval, StrictInequalityAa};
-use sraa_core::{DisambiguationEngine, EngineConfig, SummaryCache};
+use sraa_core::{DisambiguationEngine, EngineConfig, SharedSummaryStore, SummaryCache};
 use sraa_ir::{FuncId, Module, Value};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -85,6 +85,10 @@ struct Daemon {
     /// Warm-start summaries from `--summary-cache`, used as the prior for
     /// the first upload of each module name.
     warm: Option<SummaryCache>,
+    /// Resident content-addressed store (`--shared-store`): consulted —
+    /// after a directory refresh, so live peer daemons' segments are
+    /// seen — and published to on every upload.
+    store: Option<SharedSummaryStore>,
     stats: ServeStats,
     shutdown: Arc<AtomicBool>,
 }
@@ -208,6 +212,16 @@ impl Server {
         self
     }
 
+    /// Attaches a resident [`SharedSummaryStore`] (the CLI's
+    /// `--shared-store`): every upload consults it by content-addressed
+    /// key — across module names, and across any other daemon or
+    /// one-shot run sharing the directory — and publishes its solved
+    /// summaries back.
+    pub fn with_shared_store(mut self, store: SharedSummaryStore) -> Self {
+        self.daemon.store = Some(store);
+        self
+    }
+
     /// The flag that stops [`Server::run`]. Store `true` (any thread, a
     /// signal handler included — it is a plain atomic) to begin a
     /// graceful drain.
@@ -222,7 +236,7 @@ impl Server {
 
     /// Number of modules currently resident.
     pub fn num_modules(&self) -> usize {
-        self.daemon.modules.read().expect("modules poisoned").len()
+        self.daemon.modules_read().len()
     }
 
     /// Serves until shutdown, then drains in-flight connections and
@@ -240,7 +254,21 @@ impl Server {
                 };
                 match accepted {
                     Ok(stream) => {
-                        scope.spawn(move || handle_conn(daemon, stream));
+                        // Absorb handler panics: a scoped thread that
+                        // unwinds re-throws at scope exit, which would
+                        // turn one bad connection into a daemon crash at
+                        // drain time. The daemon's shared state survives
+                        // a mid-handler panic (locks recover via
+                        // `into_inner`; the maps are never half-updated),
+                        // so count it and keep serving.
+                        scope.spawn(move || {
+                            let handler = std::panic::AssertUnwindSafe(|| {
+                                handle_conn(daemon, stream);
+                            });
+                            if std::panic::catch_unwind(handler).is_err() {
+                                daemon.stats.panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(TICK);
@@ -263,13 +291,27 @@ impl Daemon {
             cfg,
             modules: RwLock::new(HashMap::new()),
             warm: None,
+            store: None,
             stats: ServeStats::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
 
+    /// The modules map, recovering from a poisoned lock: the map is
+    /// only ever mutated by a single `insert` call, so a panic elsewhere
+    /// in the holder can never leave it half-updated. Before this
+    /// recovery, one panicking connection thread cascaded into a panic
+    /// on every subsequent request that touched the map.
+    fn modules_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ModuleEntry>>> {
+        self.modules.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn modules_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<ModuleEntry>>> {
+        self.modules.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn entry(&self, name: &str) -> Option<Arc<ModuleEntry>> {
-        self.modules.read().expect("modules poisoned").get(name).cloned()
+        self.modules_read().get(name).cloned()
     }
 }
 
@@ -442,8 +484,18 @@ fn dispatch(daemon: &Daemon, req: &Json) -> Outcome {
         "eval" => cmd_eval(daemon, req),
         "pairs" => cmd_pairs(daemon, req),
         "stats" => {
-            let modules = daemon.modules.read().expect("modules poisoned").len();
+            let modules = daemon.modules_read().len();
             Outcome::reply(daemon.stats.snapshot(modules))
+        }
+        // Debug-build fault injection for the liveness regression test:
+        // panic in this connection thread *while holding* the modules
+        // write lock — exactly the failure that used to wedge the daemon
+        // (poisoned lock + scope-exit panic rethrow). Release builds
+        // fall through to `unknown-cmd`.
+        #[cfg(debug_assertions)]
+        "debug-poison" => {
+            let _guard = daemon.modules.write().unwrap_or_else(|e| e.into_inner());
+            panic!("debug-poison: deliberate panic while holding the modules lock");
         }
         "shutdown" => Outcome {
             frames: vec![obj([("ok", Json::Bool(true)), ("stopping", Json::Bool(true))])],
@@ -473,36 +525,53 @@ fn cmd_upload(daemon: &Daemon, req: &Json) -> Outcome {
         Some(entry) => Some(entry.cache.clone()),
         None => daemon.warm.clone(),
     };
-    let engine = DisambiguationEngine::build_with_cache(
+    // Refresh before consulting: another daemon (or one-shot run)
+    // sharing the store directory may have published segments since our
+    // last upload; folding them in is what makes cross-process sharing
+    // live rather than load-time-only. A refresh failure only costs
+    // potential hits.
+    if let Some(store) = &daemon.store {
+        store.refresh().ok();
+    }
+    let engine = DisambiguationEngine::build_with_cache_and_store(
         &mut module,
         daemon.cfg.engine.clone(),
         prior.as_ref(),
+        daemon.store.as_ref(),
     );
     let s = engine.stats();
     let (hits, misses, invalidated) = (s.cache_hits, s.cache_misses, s.cache_invalidated);
+    let store_counts = (s.store_hits, s.store_misses, s.store_published);
     daemon.stats.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
     daemon.stats.cache_misses.fetch_add(misses as u64, Ordering::Relaxed);
     daemon.stats.cache_invalidated.fetch_add(invalidated as u64, Ordering::Relaxed);
+    daemon.stats.store_hits.fetch_add(store_counts.0 as u64, Ordering::Relaxed);
+    daemon.stats.store_misses.fetch_add(store_counts.1 as u64, Ordering::Relaxed);
+    daemon.stats.store_published.fetch_add(store_counts.2 as u64, Ordering::Relaxed);
     let cache = engine.export_summary_cache(&module).unwrap_or_default();
     let lt = StrictInequalityAa::from_engine(engine);
     let eval_text = render_eval(&module, &lt);
     let functions = module.num_functions();
     let queries = AaEval::num_queries(&module);
     let entry = Arc::new(ModuleEntry { module, lt, eval_text, cache });
-    daemon.modules.write().expect("modules poisoned").insert(name.to_string(), entry);
-    Outcome {
-        frames: vec![obj([
-            ("ok", Json::Bool(true)),
-            ("module", Json::Str(name.to_string())),
-            ("functions", Json::Num(functions as i64)),
-            ("queries", Json::Num(queries as i64)),
-            ("hits", Json::Num(hits as i64)),
-            ("misses", Json::Num(misses as i64)),
-            ("invalidated", Json::Num(invalidated as i64)),
-        ])],
-        kind: ReqKind::Upload,
-        shutdown: false,
+    daemon.modules_write().insert(name.to_string(), entry);
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("module", Json::Str(name.to_string())),
+        ("functions", Json::Num(functions as i64)),
+        ("queries", Json::Num(queries as i64)),
+        ("hits", Json::Num(hits as i64)),
+        ("misses", Json::Num(misses as i64)),
+        ("invalidated", Json::Num(invalidated as i64)),
+    ];
+    // Store accounting rides along only when a store is configured, so
+    // store-less daemons keep their exact historical reply shape.
+    if daemon.store.is_some() {
+        fields.push(("store_hits", Json::Num(store_counts.0 as i64)));
+        fields.push(("store_misses", Json::Num(store_counts.1 as i64)));
+        fields.push(("store_published", Json::Num(store_counts.2 as i64)));
     }
+    Outcome { frames: vec![obj(fields)], kind: ReqKind::Upload, shutdown: false }
 }
 
 enum PairKind {

@@ -34,7 +34,9 @@
 
 use sraa::alias::{render_eval, AliasAnalysis, BasicAliasAnalysis, Combined, StrictInequalityAa};
 use sraa::ir::{InstKind, Interpreter};
-use sraa::lt::{CacheOutcome, Contextuality, EngineConfig, Jobs, LatticeBackend, SolverKind};
+use sraa::lt::{
+    CacheOutcome, Contextuality, EngineConfig, Jobs, LatticeBackend, SolverKind, StoreOutcome,
+};
 use sraa::pdg::DepGraph;
 use std::process::exit;
 
@@ -75,7 +77,12 @@ fn main() {
                  \n                              eval/lt/pdg/opt (default intra)\
                  \n  --summary-cache <path>      persist summaries between runs;\
                  \n                              unchanged functions skip their\
-                 \n                              solves (implies --interproc)"
+                 \n                              solves (implies --interproc)\
+                 \n  --shared-store <dir>        content-addressed summary store\
+                 \n                              shared across modules, daemons\
+                 \n                              and processes (implies\
+                 \n                              --interproc; composes with\
+                 \n                              --summary-cache)"
             );
             2
         }
@@ -84,14 +91,16 @@ fn main() {
 }
 
 /// Extracts `--solver <kind>`, `--lattice <backend>`, `--jobs <n>`,
-/// `--interproc` and `--summary-cache <path>` from `args`, returning the
-/// remaining arguments and the chosen [`EngineConfig`] knobs (defaults:
-/// [`SolverKind::Scc`], [`LatticeBackend::Auto`], [`Jobs::Auto`],
-/// [`Contextuality::Intra`], no cache). `--summary-cache` implies
-/// `--interproc` — the cache stores interprocedural summaries. An
-/// explicit `--jobs` count beats the `SRAA_JOBS` environment variable;
-/// whichever wins is reported on **stderr** (stdout must stay
-/// byte-identical across every jobs value).
+/// `--interproc`, `--summary-cache <path>` and `--shared-store <dir>`
+/// from `args`, returning the remaining arguments and the chosen
+/// [`EngineConfig`] knobs (defaults: [`SolverKind::Scc`],
+/// [`LatticeBackend::Auto`], [`Jobs::Auto`], [`Contextuality::Intra`],
+/// no cache, no store). `--summary-cache` and `--shared-store` both
+/// imply `--interproc` — they persist interprocedural summaries — and
+/// compose: the per-module cache answers first, the cross-module store
+/// catches what it misses. An explicit `--jobs` count beats the
+/// `SRAA_JOBS` environment variable; whichever wins is reported on
+/// **stderr** (stdout must stay byte-identical across every jobs value).
 fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32> {
     let mut cfg = EngineConfig::default();
     let (rest, solver) = take_value_flag(args, "--solver")?;
@@ -131,6 +140,10 @@ fn take_engine_flags(args: &[String]) -> Result<(Vec<String>, EngineConfig), i32
     if let Some(path) = cache {
         cfg = cfg.with_summary_cache(path);
     }
+    let (rest, store) = take_value_flag(&rest, "--shared-store")?;
+    if let Some(dir) = store {
+        cfg = cfg.with_shared_store(dir);
+    }
     Ok((rest, cfg))
 }
 
@@ -152,6 +165,25 @@ fn report_cache(used_cache: bool, lt: &StrictInequalityAa) {
         outcome.hits,
         outcome.misses,
         outcome.invalidated,
+        outcome.hit_rate() * 100.0
+    );
+}
+
+/// Prints the shared-store outcome to **stderr**, mirroring
+/// [`report_cache`]: stdout must stay byte-identical between a cold run
+/// and a run answered from a populated store.
+fn report_store(used_store: bool, lt: &StrictInequalityAa) {
+    if !used_store {
+        return;
+    }
+    let s = lt.engine().stats();
+    let outcome =
+        StoreOutcome { hits: s.store_hits, misses: s.store_misses, published: s.store_published };
+    eprintln!(
+        "# shared-store: {} hit(s), {} miss(es), {} published ({:.1}% hit rate)",
+        outcome.hits,
+        outcome.misses,
+        outcome.published,
         outcome.hit_rate() * 100.0
     );
 }
@@ -235,7 +267,7 @@ fn cmd_compile(args: &[String]) -> i32 {
 fn cmd_eval(args: &[String]) -> i32 {
     const USAGE: &str =
         "sraa eval <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
-         [--interproc] [--summary-cache <path>]";
+         [--interproc] [--summary-cache <path>] [--shared-store <dir>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -246,8 +278,10 @@ fn cmd_eval(args: &[String]) -> i32 {
     };
     let Ok(mut m) = load(path) else { return 1 };
     let used_cache = cfg.summary_cache.is_some();
+    let used_store = cfg.shared_store.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     report_cache(used_cache, &lt);
+    report_store(used_store, &lt);
     print!("{}", render_eval(&m, &lt));
     0
 }
@@ -255,7 +289,7 @@ fn cmd_eval(args: &[String]) -> i32 {
 fn cmd_lt(args: &[String]) -> i32 {
     const USAGE: &str = "sraa lt <file.c> <function> [--solver worklist|scc] \
                          [--lattice auto|arc|dense] [--jobs N] [--interproc] \
-                         [--summary-cache <path>]";
+                         [--summary-cache <path>] [--shared-store <dir>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -266,8 +300,10 @@ fn cmd_lt(args: &[String]) -> i32 {
     };
     let Ok(mut m) = load(path) else { return 1 };
     let used_cache = cfg.summary_cache.is_some();
+    let used_store = cfg.shared_store.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     report_cache(used_cache, &lt);
+    report_store(used_store, &lt);
     let Some(fid) = m.function_by_name(fname) else {
         eprintln!("no function `{fname}`");
         return 1;
@@ -342,7 +378,7 @@ fn cmd_run(args: &[String]) -> i32 {
 fn cmd_pdg(args: &[String]) -> i32 {
     const USAGE: &str =
         "sraa pdg <file.c> [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
-         [--interproc] [--summary-cache <path>]";
+         [--interproc] [--summary-cache <path>] [--shared-store <dir>]";
     let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
         return code;
@@ -354,8 +390,10 @@ fn cmd_pdg(args: &[String]) -> i32 {
     let Ok(mut m) = load(path) else { return 1 };
     cfg.gen.range_offsets = true; // the Figure 12 experiment's setting
     let used_cache = cfg.summary_cache.is_some();
+    let used_store = cfg.shared_store.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     report_cache(used_cache, &lt);
+    report_store(used_store, &lt);
     let ba = BasicAliasAnalysis::new(&m);
     let both = Combined::new(vec![Box::new(BasicAliasAnalysis::new(&m)), Box::new(lt.clone())]);
     let g_ba = DepGraph::build(&m, &ba);
@@ -371,7 +409,7 @@ fn cmd_pdg(args: &[String]) -> i32 {
 fn cmd_opt(args: &[String]) -> i32 {
     const USAGE: &str = "sraa opt <file.c> [--ba] [--solver worklist|scc] \
                          [--lattice auto|arc|dense] [--jobs N] [--interproc] \
-                         [--summary-cache <path>]";
+                         [--summary-cache <path>] [--shared-store <dir>]";
     let Ok((args, cfg)) = take_engine_flags(args) else { return 2 };
     let (args, ba_only) = take_flag(&args, "--ba");
     if let Err(code) = reject_unknown_flags(&args, USAGE) {
@@ -383,8 +421,10 @@ fn cmd_opt(args: &[String]) -> i32 {
     };
     let Ok(mut m) = load(path) else { return 1 };
     let used_cache = cfg.summary_cache.is_some();
+    let used_store = cfg.shared_store.is_some();
     let lt = StrictInequalityAa::with_engine_config(&mut m, cfg);
     report_cache(used_cache, &lt);
+    report_store(used_store, &lt);
     let aa: Box<dyn AliasAnalysis> = if ba_only {
         Box::new(BasicAliasAnalysis::new(&m))
     } else {
@@ -466,7 +506,7 @@ fn install_signal_handlers(_flag: std::sync::Arc<std::sync::atomic::AtomicBool>)
 fn cmd_serve(args: &[String]) -> i32 {
     const USAGE: &str = "sraa serve (--socket <path> | --addr <host:port>) \
                          [--solver worklist|scc] [--lattice auto|arc|dense] [--jobs N] \
-                         [--summary-cache <path>]";
+                         [--summary-cache <path>] [--shared-store <dir>]";
     let Ok((args, mut cfg)) = take_engine_flags(args) else { return 2 };
     let (args, endpoint) = match take_endpoint(&args, USAGE) {
         Ok(x) => x,
@@ -489,6 +529,24 @@ fn cmd_serve(args: &[String]) -> i32 {
                 None
             }
         });
+    // `--shared-store` becomes a resident store handle: opened once at
+    // boot, refreshed before each upload so concurrent daemons sharing
+    // the directory see each other's published segments.
+    let store = cfg.shared_store.take().and_then(|dir| {
+        match sraa::lt::SharedSummaryStore::open(&dir, cfg.gen) {
+            Ok(s) => {
+                eprintln!("# serve: shared store at {} ({} summaries)", dir.display(), s.len());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!(
+                    "# serve warning: {}: {e}; running without a shared store",
+                    dir.display()
+                );
+                None
+            }
+        }
+    });
     let scfg = sraa::serve::ServerConfig { engine: cfg, ..Default::default() };
     let server = match &endpoint {
         Endpoint::Unix(path) => sraa::serve::Server::bind_unix(path, scfg),
@@ -503,6 +561,10 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     let server = match warm {
         Some(c) => server.with_warm_cache(c),
+        None => server,
+    };
+    let server = match store {
+        Some(s) => server.with_shared_store(s),
         None => server,
     };
     install_signal_handlers(server.shutdown_flag());
@@ -625,6 +687,23 @@ fn run_query(client: &mut sraa::serve::Client, words: &[String]) -> i32 {
                 outcome.invalidated,
                 outcome.hit_rate() * 100.0
             );
+            // Store counters only appear when the daemon runs with
+            // `--shared-store`; suppress the line otherwise so store-less
+            // output is unchanged.
+            if r.num_field("store_hits").is_some() {
+                let store = StoreOutcome {
+                    hits: r.num_field("store_hits").unwrap_or(0) as u32,
+                    misses: r.num_field("store_misses").unwrap_or(0) as u32,
+                    published: r.num_field("store_published").unwrap_or(0) as u32,
+                };
+                eprintln!(
+                    "# shared-store: {} hit(s), {} miss(es), {} published ({:.1}% hit rate)",
+                    store.hits,
+                    store.misses,
+                    store.published,
+                    store.hit_rate() * 100.0
+                );
+            }
             println!(
                 "uploaded {}: {} function(s), {} queries",
                 name,

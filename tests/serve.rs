@@ -281,6 +281,42 @@ fn warm_start_cache_makes_the_first_upload_hit() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Satellite regression: a connection thread that panics — even while
+/// holding the daemon's modules write lock — must not take the daemon
+/// down or wedge the lock. Before the fix, the accept loop's scoped
+/// thread propagated the panic out of `Server::run` (killing the
+/// daemon), and every later `.expect("... poisoned")` on the shared
+/// locks cascaded. The debug-only `debug-poison` command panics in the
+/// connection thread with the write lock held, exercising both fixes at
+/// once: `catch_unwind` in the accept loop and `into_inner` recovery on
+/// every lock site.
+#[cfg(debug_assertions)]
+#[test]
+fn a_panicking_connection_does_not_take_the_daemon_down() {
+    let (server, addr, handle) = spawn_server(ServerConfig::default());
+    let mut victim = Client::connect_tcp(addr).expect("connect");
+    let r = victim.request(&obj([("cmd", Json::Str("debug-poison".into()))]));
+    assert!(r.is_err(), "the panicking connection dies without a reply, got: {r:?}");
+
+    // The daemon keeps serving on a fresh connection: upload, query,
+    // stats — all through the locks the dead thread poisoned.
+    let mut client = Client::connect_tcp(addr).expect("reconnect after panic");
+    let up = client.request(&upload_req("demo", CALLS)).expect("upload after panic");
+    assert!(up.is_ok(), "upload failed after a connection panic: {up:?}");
+    let ev = client
+        .request(&obj([("cmd", Json::Str("eval".into())), ("module", Json::Str("demo".into()))]))
+        .expect("eval after panic");
+    assert!(ev.is_ok());
+    let stats = client.request(&obj([("cmd", Json::Str("stats".into()))])).expect("stats");
+    assert_eq!(stats.num_field("panics"), Some(1), "the caught panic is counted");
+    assert_eq!(stats.num_field("modules"), Some(1));
+
+    let bye = client.request(&obj([("cmd", Json::Str("shutdown".into()))])).expect("shutdown");
+    assert!(bye.is_ok());
+    handle.join().expect("serve loop survives a panicking connection");
+    assert_eq!(server.stats().panics.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
 // ---------------------------------------------------------------------
 // Malformed input: deterministic cases, then the fuzz property.
 // ---------------------------------------------------------------------
